@@ -1,0 +1,273 @@
+// Benchmarks regenerating the paper's evaluation (§5) as Go benchmarks:
+// one per table and figure, plus the ablations called out in DESIGN.md §4
+// and raw substrate micro-benchmarks. Each iteration runs a scaled-down
+// experiment; figure-level metrics (p99 µs, slowdown, shares) are attached
+// via b.ReportMetric so `go test -bench=.` output doubles as a results
+// table. The cmd/ tools run the full-sized sweeps.
+package skyloft_test
+
+import (
+	"testing"
+
+	"skyloft/internal/apps/server"
+	"skyloft/internal/baseline/linuxsim"
+	"skyloft/internal/bench"
+	"skyloft/internal/cycles"
+	"skyloft/internal/hw"
+	"skyloft/internal/rng"
+	"skyloft/internal/simtime"
+	"skyloft/internal/stats"
+)
+
+// ---- Fig. 5: schbench wakeup latency ----
+
+func benchSchbenchSkyloft(b *testing.B, s bench.SkyloftSched) {
+	b.Helper()
+	var p99 simtime.Duration
+	for i := 0; i < b.N; i++ {
+		r := bench.SchbenchSkyloft(s, 0, 32, 10, uint64(i+1))
+		p99 = r.Hist.P99()
+	}
+	b.ReportMetric(p99.Micros(), "p99_us")
+}
+
+func BenchmarkFig5SkyloftRR(b *testing.B)    { benchSchbenchSkyloft(b, bench.SkyloftRR) }
+func BenchmarkFig5SkyloftCFS(b *testing.B)   { benchSchbenchSkyloft(b, bench.SkyloftCFS) }
+func BenchmarkFig5SkyloftEEVDF(b *testing.B) { benchSchbenchSkyloft(b, bench.SkyloftEEVDF) }
+
+func benchSchbenchLinux(b *testing.B, v linuxsim.Variant) {
+	b.Helper()
+	var p99 simtime.Duration
+	for i := 0; i < b.N; i++ {
+		r := bench.SchbenchLinux(v, 32, 10, uint64(i+1))
+		p99 = r.Hist.P99()
+	}
+	b.ReportMetric(p99.Micros(), "p99_us")
+}
+
+func BenchmarkFig5LinuxRR(b *testing.B)         { benchSchbenchLinux(b, "linux-rr") }
+func BenchmarkFig5LinuxCFS(b *testing.B)        { benchSchbenchLinux(b, "linux-cfs") }
+func BenchmarkFig5LinuxCFSTuned(b *testing.B)   { benchSchbenchLinux(b, "linux-cfs-tuned") }
+func BenchmarkFig5LinuxEEVDF(b *testing.B)      { benchSchbenchLinux(b, "linux-eevdf") }
+func BenchmarkFig5LinuxEEVDFTuned(b *testing.B) { benchSchbenchLinux(b, "linux-eevdf-tuned") }
+
+// ---- Fig. 6: RR time-slice sweep ----
+
+func BenchmarkFig6RRSlice50us(b *testing.B) {
+	var p99 simtime.Duration
+	for i := 0; i < b.N; i++ {
+		r := bench.SchbenchSkyloft(bench.SkyloftRR, 50*simtime.Microsecond, 32, 10, uint64(i+1))
+		p99 = r.Hist.P99()
+	}
+	b.ReportMetric(p99.Micros(), "p99_us")
+}
+
+func BenchmarkFig6RRSlice400us(b *testing.B) {
+	var p99 simtime.Duration
+	for i := 0; i < b.N; i++ {
+		r := bench.SchbenchSkyloft(bench.SkyloftRR, 400*simtime.Microsecond, 32, 10, uint64(i+1))
+		p99 = r.Hist.P99()
+	}
+	b.ReportMetric(p99.Micros(), "p99_us")
+}
+
+func BenchmarkFig6FIFO(b *testing.B) {
+	var p99 simtime.Duration
+	for i := 0; i < b.N; i++ {
+		r := bench.SchbenchSkyloft(bench.SkyloftFIFO, 0, 32, 10, uint64(i+1))
+		p99 = r.Hist.P99()
+	}
+	b.ReportMetric(p99.Micros(), "p99_us")
+}
+
+// ---- Fig. 7a: synthetic dispersive workload ----
+
+func benchFig7a(b *testing.B, s bench.SynthSystem) {
+	b.Helper()
+	load := 0.8 * bench.Capacity(bench.Fig7Workers, server.DispersiveClasses())
+	var p bench.LoadPoint
+	for i := 0; i < b.N; i++ {
+		p = bench.RunSynthetic(bench.SynthConfig{
+			System: s, Rate: load, Duration: 100 * simtime.Millisecond, Seed: uint64(i + 1),
+		})
+	}
+	b.ReportMetric(p.P99, "p99_us")
+	b.ReportMetric(p.Throughput/1000, "tput_krps")
+}
+
+func BenchmarkFig7aSkyloft(b *testing.B)  { benchFig7a(b, bench.SynthSkyloft) }
+func BenchmarkFig7aShinjuku(b *testing.B) { benchFig7a(b, bench.SynthShinjuku) }
+func BenchmarkFig7aGhost(b *testing.B)    { benchFig7a(b, bench.SynthGhost) }
+func BenchmarkFig7aLinuxCFS(b *testing.B) { benchFig7a(b, bench.SynthLinuxCFS) }
+
+// ---- Fig. 7b/7c: co-location with a batch app ----
+
+func benchFig7bc(b *testing.B, s bench.SynthSystem) {
+	b.Helper()
+	load := 0.5 * bench.Capacity(bench.Fig7Workers, server.DispersiveClasses())
+	var p bench.LoadPoint
+	for i := 0; i < b.N; i++ {
+		p = bench.RunSynthetic(bench.SynthConfig{
+			System: s, Rate: load, Duration: 100 * simtime.Millisecond,
+			WithBE: true, Seed: uint64(i + 1),
+		})
+	}
+	b.ReportMetric(p.P99, "p99_us")
+	b.ReportMetric(p.BEShare, "be_share")
+}
+
+func BenchmarkFig7bcSkyloft(b *testing.B)  { benchFig7bc(b, bench.SynthSkyloft) }
+func BenchmarkFig7bcGhost(b *testing.B)    { benchFig7bc(b, bench.SynthGhost) }
+func BenchmarkFig7bcShinjuku(b *testing.B) { benchFig7bc(b, bench.SynthShinjuku) }
+
+// ---- Fig. 8a: Memcached ----
+
+func benchFig8a(b *testing.B, s bench.NetSystem) {
+	b.Helper()
+	load := 0.8 * bench.Capacity(bench.Fig8aWorkers, server.USRClasses())
+	var p bench.LoadPoint
+	for i := 0; i < b.N; i++ {
+		p = bench.RunNetApp(bench.NetConfig{
+			System: s, App: "memcached", Workers: bench.Fig8aWorkers,
+			Rate: load, Duration: 100 * simtime.Millisecond, Seed: uint64(i + 1),
+		})
+	}
+	b.ReportMetric(p.P99, "p99_us")
+	b.ReportMetric(p.Throughput/1000, "tput_krps")
+}
+
+func BenchmarkFig8aMemcachedSkyloft(b *testing.B)  { benchFig8a(b, bench.NetSkyloft) }
+func BenchmarkFig8aMemcachedShenango(b *testing.B) { benchFig8a(b, bench.NetShenango) }
+
+// ---- Fig. 8b: RocksDB server ----
+
+func benchFig8b(b *testing.B, s bench.NetSystem, q simtime.Duration, workers int) {
+	b.Helper()
+	load := 0.7 * bench.Capacity(bench.Fig8bWorkers, server.RocksDBClasses())
+	var p bench.LoadPoint
+	for i := 0; i < b.N; i++ {
+		p = bench.RunNetApp(bench.NetConfig{
+			System: s, App: "rocksdb", Workers: workers, Quantum: q,
+			Rate: load, Duration: 100 * simtime.Millisecond, Seed: uint64(i + 1),
+		})
+	}
+	b.ReportMetric(p.P999Slow, "p999_slowdown")
+}
+
+func BenchmarkFig8bRocksDBSkyloft5us(b *testing.B) {
+	benchFig8b(b, bench.NetSkyloftPre, 5*simtime.Microsecond, bench.Fig8bWorkers)
+}
+
+func BenchmarkFig8bRocksDBSkyloft30us(b *testing.B) {
+	benchFig8b(b, bench.NetSkyloftPre, 30*simtime.Microsecond, bench.Fig8bWorkers)
+}
+
+func BenchmarkFig8bRocksDBUtimer5us(b *testing.B) {
+	benchFig8b(b, bench.NetSkyloftUtimer, 5*simtime.Microsecond, bench.Fig8bWorkers-1)
+}
+
+func BenchmarkFig8bRocksDBShenango(b *testing.B) {
+	benchFig8b(b, bench.NetShenango, 0, bench.Fig8bWorkers)
+}
+
+// ---- Tables 6 and 7 ----
+
+func BenchmarkTable6Mechanisms(b *testing.B) {
+	var rows []bench.MechRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.Table6()
+	}
+	for _, r := range rows {
+		if r.Name == "user-ipi" {
+			b.ReportMetric(r.Send, "uipi_send_cycles")
+			b.ReportMetric(r.Receive, "uipi_recv_cycles")
+		}
+		if r.Name == "user-timer" {
+			b.ReportMetric(r.Receive, "utimer_recv_cycles")
+		}
+	}
+}
+
+func BenchmarkTable7ThreadOps(b *testing.B) {
+	var rows []bench.OpRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.Table7()
+	}
+	for _, r := range rows {
+		if r.Op == "yield" {
+			b.ReportMetric(r.Skyloft, "skyloft_yield_ns")
+			b.ReportMetric(r.Pthread, "pthread_yield_ns")
+		}
+	}
+}
+
+func BenchmarkInterAppSwitch(b *testing.B) {
+	var d simtime.Duration
+	for i := 0; i < b.N; i++ {
+		d = bench.InterAppSwitch()
+	}
+	b.ReportMetric(float64(d), "switch_ns")
+}
+
+// ---- Ablations (DESIGN.md §4) ----
+
+// AblationCosts: scale the whole cost model and verify the Fig. 7a
+// ordering (skyloft < ghost) is robust to the exact constants.
+func BenchmarkAblationCostScale(b *testing.B) {
+	var ratios map[float64]float64
+	for i := 0; i < b.N; i++ {
+		ratios = bench.CostSensitivity([]float64{0.5, 2}, 40*simtime.Millisecond, uint64(i+1))
+	}
+	b.ReportMetric(ratios[0.5], "ghost_over_skyloft_p99_at_half_costs")
+	b.ReportMetric(ratios[2], "ghost_over_skyloft_p99_at_double_costs")
+}
+
+// AblationStealing: work stealing on vs off for the Memcached workload.
+func BenchmarkAblationStealingOn(b *testing.B) { benchFig8a(b, bench.NetSkyloft) }
+
+// AblationUtimer vs LAPIC delegation at the same quantum (Fig. 8b inset).
+func BenchmarkAblationUtimer(b *testing.B) {
+	benchFig8b(b, bench.NetSkyloftUtimer, 5*simtime.Microsecond, bench.Fig8bWorkers-1)
+}
+
+// ---- Substrate micro-benchmarks (real wall-clock performance) ----
+
+func BenchmarkSimtimeEventQueue(b *testing.B) {
+	c := simtime.NewClock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.After(simtime.Duration(i%1000), func() {})
+		if c.Pending() > 1024 {
+			for c.Step() {
+			}
+		}
+	}
+}
+
+func BenchmarkHistRecord(b *testing.B) {
+	h := stats.NewHist()
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(simtime.Duration(r.Uint64() % (1 << 30)))
+	}
+}
+
+func BenchmarkRngExp(b *testing.B) {
+	r := rng.New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Exp(1000)
+	}
+	_ = sink
+}
+
+func BenchmarkHwExecChain(b *testing.B) {
+	m := hw.NewMachine(hw.Config{Cores: 1, CoresPerSocket: 1, Cost: cycles.Default()})
+	c := m.Cores[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Exec(10, func() {})
+		m.Clock.Step()
+	}
+}

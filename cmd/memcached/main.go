@@ -1,0 +1,40 @@
+// Command memcached regenerates Fig. 8a (§5.3): the in-memory key-value
+// store under Meta's USR workload (99.8% GET / 0.2% SET, light-tailed) on
+// Skyloft's work-stealing policy versus Shenango, both behind the simulated
+// DPDK datapath with 4 worker cores.
+//
+// Usage:
+//
+//	memcached [-dur 300ms] [-seed 1] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"skyloft/internal/apps/server"
+	"skyloft/internal/bench"
+	"skyloft/internal/simtime"
+)
+
+func main() {
+	dur := flag.Duration("dur", 300*time.Millisecond, "measurement window (virtual)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	capacity := bench.Capacity(bench.Fig8aWorkers, server.USRClasses())
+	var loads []float64
+	for _, f := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95} {
+		loads = append(loads, f*capacity)
+	}
+	fmt.Printf("# Memcached capacity with %d workers: %.1f krps\n\n", bench.Fig8aWorkers, capacity/1000)
+
+	t := bench.Fig8a(loads, simtime.Duration(dur.Nanoseconds()), *seed)
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.Render())
+	}
+}

@@ -1,0 +1,49 @@
+// Command microbench regenerates §5.4's microbenchmarks: Table 6
+// (preemption/notification mechanism costs, in cycles at 2 GHz), Table 7
+// (threading operation costs in ns, with the Go column measured natively
+// on the real Go runtime), the inter-application switch cost, and Table 4
+// (lines of code per Skyloft policy).
+//
+// Usage:
+//
+//	microbench [-table 4|6|7|switch|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"skyloft/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to regenerate: 4, 6, 7, switch, or all")
+	flag.Parse()
+
+	if *table == "6" || *table == "all" {
+		fmt.Println("# Table 6: preemption mechanism comparison (cycles @ 2 GHz)")
+		fmt.Printf("%-18s %10s %10s %10s\n", "mechanism", "send", "receive", "delivery")
+		for _, r := range bench.Table6() {
+			fmt.Printf("%-18s %10.0f %10.0f %10.0f\n", r.Name, r.Send, r.Receive, r.Delivery)
+		}
+		fmt.Println()
+	}
+	if *table == "7" || *table == "all" {
+		fmt.Println("# Table 7: threading operation comparison (ns)")
+		fmt.Printf("%-10s %10s %10s %10s\n", "op", "pthread", "go(real)", "skyloft")
+		for _, r := range bench.Table7() {
+			fmt.Printf("%-10s %10.0f %10.0f %10.0f\n", r.Op, r.Pthread, r.Go, r.Skyloft)
+		}
+		fmt.Println()
+	}
+	if *table == "switch" || *table == "all" {
+		fmt.Printf("# Inter-application thread switch: %v (paper: 1,905 ns + uthread switch)\n\n",
+			bench.InterAppSwitch())
+	}
+	if *table == "4" || *table == "all" {
+		fmt.Println("# Table 4: lines of code per Skyloft policy (this reproduction)")
+		for _, r := range bench.Table4() {
+			fmt.Printf("%-14s %6d LOC\n", r.Policy, r.Lines)
+		}
+	}
+}

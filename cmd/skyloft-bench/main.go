@@ -1,0 +1,119 @@
+// Command skyloft-bench regenerates the paper's entire evaluation (§5) in
+// one run: Fig. 5 and 6 (schbench), Fig. 7a/7b/7c (synthetic dispersive
+// workload, alone and with a batch co-runner), Fig. 8a (Memcached) and
+// Fig. 8b (RocksDB server), plus the §5.4 microbenchmarks (Tables 6 and 7),
+// the inter-application switch cost, and Table 4 (policy LoC).
+//
+// A full run takes some minutes of wall-clock time; use -quick for a
+// reduced sweep.
+//
+// Usage:
+//
+//	skyloft-bench [-quick] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"skyloft/internal/apps/server"
+	"skyloft/internal/bench"
+	"skyloft/internal/simtime"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	start := time.Now()
+
+	workers := []int{8, 16, 24, 32, 40, 48, 56, 64}
+	reqs := 50
+	loadFracs := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 1.0}
+	dur := 300 * simtime.Millisecond
+	if *quick {
+		workers = []int{16, 32, 48}
+		reqs = 15
+		loadFracs = []float64{0.2, 0.5, 0.8, 0.95}
+		dur = 100 * simtime.Millisecond
+	}
+
+	section := func(name string) {
+		fmt.Printf("==== %s (t=%.0fs) ====\n", name, time.Since(start).Seconds())
+	}
+
+	section("Fig 5: schbench wakeup latency")
+	p99, p50 := bench.Fig5(workers, reqs, *seed)
+	fmt.Print(p99.Render())
+	fmt.Print(p50.Render())
+	fmt.Println()
+
+	section("Fig 6: RR time-slice sweep")
+	slices := []simtime.Duration{25 * simtime.Microsecond, 50 * simtime.Microsecond,
+		100 * simtime.Microsecond, 200 * simtime.Microsecond, 400 * simtime.Microsecond}
+	fmt.Print(bench.Fig6(workers, slices, reqs, *seed).Render())
+	fmt.Println()
+
+	cap7 := bench.Capacity(bench.Fig7Workers, server.DispersiveClasses())
+	var loads7 []float64
+	for _, f := range loadFracs {
+		loads7 = append(loads7, f*cap7)
+	}
+	section("Fig 7a: dispersive workload")
+	fmt.Print(bench.Fig7a(loads7, 30*simtime.Microsecond, dur, *seed).Render())
+	fmt.Println()
+
+	section("Fig 7b/7c: dispersive + batch co-location")
+	lat, share := bench.Fig7bc(loads7, 30*simtime.Microsecond, dur, *seed)
+	fmt.Print(lat.Render())
+	fmt.Print(share.Render())
+	fmt.Println()
+
+	cap8a := bench.Capacity(bench.Fig8aWorkers, server.USRClasses())
+	var loads8a []float64
+	for _, f := range loadFracs {
+		if f <= 0.95 {
+			loads8a = append(loads8a, f*cap8a)
+		}
+	}
+	section("Fig 8a: Memcached USR")
+	fmt.Print(bench.Fig8a(loads8a, dur, *seed).Render())
+	fmt.Println()
+
+	cap8b := bench.Capacity(bench.Fig8bWorkers, server.RocksDBClasses())
+	var loads8b []float64
+	for _, f := range loadFracs {
+		if f <= 0.95 {
+			loads8b = append(loads8b, f*cap8b)
+		}
+	}
+	section("Fig 8b: RocksDB bimodal")
+	fmt.Print(bench.Fig8b(loads8b, dur, *seed).Render())
+	fmt.Println()
+
+	section("Table 6: preemption mechanisms (cycles)")
+	fmt.Printf("%-18s %10s %10s %10s\n", "mechanism", "send", "receive", "delivery")
+	for _, r := range bench.Table6() {
+		fmt.Printf("%-18s %10.0f %10.0f %10.0f\n", r.Name, r.Send, r.Receive, r.Delivery)
+	}
+	fmt.Println()
+
+	section("Table 7: threading operations (ns)")
+	fmt.Printf("%-10s %10s %10s %10s\n", "op", "pthread", "go(real)", "skyloft")
+	for _, r := range bench.Table7() {
+		fmt.Printf("%-10s %10.0f %10.0f %10.0f\n", r.Op, r.Pthread, r.Go, r.Skyloft)
+	}
+	fmt.Println()
+
+	section("Inter-application switch")
+	fmt.Printf("measured: %v (paper: 1,905 ns kernel path + uthread switch)\n\n", bench.InterAppSwitch())
+
+	section("Table 4: policy lines of code")
+	for _, r := range bench.Table4() {
+		fmt.Printf("%-14s %6d LOC\n", r.Policy, r.Lines)
+	}
+
+	fmt.Printf("\ntotal wall-clock: %.1fs\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,81 @@
+// Command skyloft-trace runs a mixed multi-application workload on Skyloft
+// with the scheduling tracer enabled, validates the global scheduling
+// invariants over the recorded history, and dumps the last events — the
+// repository's analogue of `trace-cmd record && trace-cmd report` for the
+// simulated machine.
+//
+// Usage:
+//
+//	skyloft-trace [-n 40] [-dur 5ms] [-threads 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"skyloft/internal/core"
+	"skyloft/internal/cycles"
+	"skyloft/internal/hw"
+	"skyloft/internal/policy/mlfq"
+	"skyloft/internal/sched"
+	"skyloft/internal/simtime"
+	"skyloft/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 40, "events to dump at the end")
+	dur := flag.Duration("dur", 5*time.Millisecond, "virtual run length")
+	threads := flag.Int("threads", 8, "churn threads")
+	flag.Parse()
+
+	tr := trace.New(1 << 18)
+	machine := hw.NewMachine(hw.DefaultConfig())
+	engine := core.New(core.Config{
+		Machine:   machine,
+		CPUs:      []int{0, 1},
+		Mode:      core.PerCPU,
+		Policy:    mlfq.New(mlfq.DefaultParams()),
+		Costs:     core.SkyloftCosts(cycles.Default()),
+		TimerMode: core.TimerLAPIC,
+		TimerHz:   100_000,
+		Trace:     tr,
+	})
+	defer engine.Shutdown()
+
+	lc := engine.NewApp("lc")
+	be := engine.NewApp("batch")
+	for i := 0; i < *threads; i++ {
+		app := lc
+		if i%2 == 0 {
+			app = be
+		}
+		app.Start(fmt.Sprintf("churn-%d", i), func(e sched.Env) {
+			for {
+				e.Run(simtime.Duration(5+e.Rand().Intn(60)) * simtime.Microsecond)
+				if e.Rand().Bernoulli(0.3) {
+					e.Sleep(simtime.Duration(1+e.Rand().Intn(30)) * simtime.Microsecond)
+				}
+			}
+		})
+	}
+	engine.Run(simtime.Duration(dur.Nanoseconds()))
+
+	events := tr.Events()
+	if err := trace.Validate(events); err != nil {
+		fmt.Fprintf(os.Stderr, "INVARIANT VIOLATION: %v\n", err)
+		os.Exit(1)
+	}
+	s := trace.Summarise(events)
+	fmt.Printf("trace: %d events (%d retained) — invariants OK\n", tr.Total(), len(events))
+	fmt.Printf("dispatches=%d preempts=%d yields=%d blocks=%d wakes=%d appswitches=%d steals=%d\n\n",
+		s.Dispatches, s.Preempts, s.Yields, s.Blocks, s.Wakes, s.AppSwitches, s.Steals)
+	start := len(events) - *n
+	if start < 0 {
+		start = 0
+	}
+	for _, ev := range events[start:] {
+		fmt.Println(ev)
+	}
+}

@@ -1,0 +1,91 @@
+// KV server: the paper's RocksDB scenario end to end — an LSM-backed
+// key-value server behind the simulated DPDK datapath, under a bimodal
+// GET/SCAN load, comparing Skyloft's preemptive work stealing (5 µs
+// quantum) against a non-preemptive runtime on the same machine. Shows why
+// µs-scale preemption is the difference between a usable and an unusable
+// tail under heavy-tailed workloads.
+//
+// Run with:
+//
+//	go run ./examples/kvserver
+package main
+
+import (
+	"fmt"
+
+	"skyloft/internal/apps/kvstore"
+	"skyloft/internal/apps/server"
+	"skyloft/internal/core"
+	"skyloft/internal/cycles"
+	"skyloft/internal/hw"
+	"skyloft/internal/loadgen"
+	"skyloft/internal/netsim"
+	"skyloft/internal/policy/worksteal"
+	"skyloft/internal/sched"
+	"skyloft/internal/simtime"
+)
+
+func runServer(preemptive bool, rate float64) {
+	machine := hw.NewMachine(hw.DefaultConfig())
+	cpus := []int{0, 1, 2, 3}
+
+	var quantum simtime.Duration
+	mode := core.TimerNone
+	if preemptive {
+		quantum = 5 * simtime.Microsecond
+		mode = core.TimerLAPIC
+	}
+	engine := core.New(core.Config{
+		Machine:   machine,
+		CPUs:      cpus,
+		Mode:      core.PerCPU,
+		Policy:    worksteal.New(quantum, 42),
+		Costs:     core.SkyloftCosts(cycles.Default()),
+		TimerMode: mode,
+		TimerHz:   200_000, // 5 µs ticks
+	})
+	defer engine.Shutdown()
+	app := engine.NewApp("kvserver")
+
+	// A real LSM store: GETs binary-search sorted runs, SCANs merge a key
+	// range across levels.
+	db := kvstore.NewLSM(4096)
+	for i := 0; i < 20000; i++ {
+		db.Put(fmt.Sprintf("key-%08d", i), fmt.Sprintf("value-%d", i))
+	}
+
+	rec := loadgen.NewRecorder(20 * simtime.Millisecond)
+	nic := netsim.NewNIC(machine.Clock, machine.Cost, len(cpus))
+	server.NewThreadPerRequest(app, nic, rec, func(e sched.Env, p netsim.Packet) {
+		n := e.Rand().Intn(19000)
+		if p.Class == 0 {
+			db.Get(fmt.Sprintf("key-%08d", n))
+		} else {
+			db.Scan(fmt.Sprintf("key-%08d", n), fmt.Sprintf("key-%08d", n+500), 500)
+		}
+		e.Run(p.Service)
+	})
+
+	gen := loadgen.New(rate, server.RocksDBClasses(), 1024, 42)
+	server.Feed(gen, machine.Clock, nic, 0)
+	engine.Run(220 * simtime.Millisecond)
+	gen.Stop()
+
+	label := "run-to-completion"
+	if preemptive {
+		label = "preemptive (5us quantum)"
+	}
+	gets := rec.ByClass[0]
+	fmt.Printf("%-26s tput=%6.1f krps  GET p99=%8v  p99.9 slowdown=%6.1fx  preemptions=%d\n",
+		label, rec.Throughput()/1000, gets.P99(), rec.Slow.P999(), engine.Preemptions())
+}
+
+func main() {
+	capacity := 4.0 / (float64(loadgen.MeanService(server.RocksDBClasses())) / float64(simtime.Second))
+	rate := 0.7 * capacity
+	fmt.Printf("bimodal KV load at %.1f krps (70%% of 4-core capacity):\n\n", rate/1000)
+	runServer(false, rate)
+	runServer(true, rate)
+	fmt.Println("\nWithout preemption, 591us SCANs blockade 0.95us GETs (head-of-line")
+	fmt.Println("blocking); with a 5us quantum the GET tail collapses — Fig. 8b's story.")
+}

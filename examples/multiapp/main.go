@@ -1,0 +1,85 @@
+// Multi-application scheduling: the §3.3/§5.2 story. A latency-critical
+// application and a best-effort batch application share the same isolated
+// cores under the Single Binding Rule; the centralized dispatcher grants
+// idle cores to the batch app and reclaims them — preempting with user
+// IPIs — the instant the LC queue congests. The batch app soaks spare
+// cycles while LC tail latency stays flat.
+//
+// Run with:
+//
+//	go run ./examples/multiapp
+package main
+
+import (
+	"fmt"
+
+	"skyloft/internal/apps/batchapp"
+	"skyloft/internal/apps/server"
+	"skyloft/internal/core"
+	"skyloft/internal/cycles"
+	"skyloft/internal/hw"
+	"skyloft/internal/loadgen"
+	"skyloft/internal/policy/shinjuku"
+	"skyloft/internal/simtime"
+)
+
+func main() {
+	machine := hw.NewMachine(hw.DefaultConfig())
+	const workers = 8
+
+	engine := core.New(core.Config{
+		Machine: machine,
+		CPUs:    []int{0, 1, 2, 3, 4, 5, 6, 7, 8}, // CPU 0 = dispatcher
+		Mode:    core.Centralized,
+		Central: shinjuku.New(30 * simtime.Microsecond),
+		Costs:   core.SkyloftCosts(cycles.Default()),
+		CoreAlloc: &core.CoreAllocConfig{
+			LCApp:               0,
+			CongestionThreshold: 10 * simtime.Microsecond,
+			CheckInterval:       5 * simtime.Microsecond,
+			MaxBECores:          workers,
+		},
+		TimerMode: core.TimerNone,
+	})
+	defer engine.Shutdown()
+
+	lcApp := engine.NewApp("latency-critical")
+	beApp := engine.NewApp("batch")
+
+	batch := batchapp.Launch(beApp, workers, 50*simtime.Microsecond)
+
+	// Drive the LC app through three load phases: low, burst, low.
+	classes := server.DispersiveClasses()
+	capacity := float64(workers) * float64(simtime.Second) / float64(loadgen.MeanService(classes))
+
+	phases := []struct {
+		name string
+		frac float64
+	}{
+		{"low (20%)", 0.2},
+		{"burst (90%)", 0.9},
+		{"low (20%)", 0.2},
+	}
+	const phaseLen = 80 * simtime.Millisecond
+
+	for i, ph := range phases {
+		rec := loadgen.NewRecorder(machine.Now() + 10*simtime.Millisecond)
+		gen := loadgen.New(ph.frac*capacity, classes, 1024, uint64(7+i))
+		server.FeedDirect(gen, machine.Clock, lcApp, rec, 0)
+
+		beBefore := batch.Units()
+		start := machine.Now()
+		engine.Run(start + phaseLen)
+		gen.Stop()
+
+		beShare := float64(batch.Units()-beBefore) * float64(batch.Chunk) /
+			float64(simtime.Duration(workers)*phaseLen)
+		fmt.Printf("phase %-12s LC p99=%8.1fus  tput=%6.1fk  batch share=%4.1f%%  reclaims=%d\n",
+			ph.name, rec.Lat.P99().Micros(), rec.Throughput()/1000, 100*beShare, engine.BEPreempts())
+	}
+
+	fmt.Printf("\ninter-application switches: %d (each %v through the kernel module)\n",
+		engine.KernelModule().Switches(), cycles.Default().AppSwitch)
+	fmt.Println("The batch share tracks the inverse of LC load; LC p99 stays bounded —")
+	fmt.Println("exactly the Fig. 7b/7c trade-off.")
+}

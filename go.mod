@@ -1,0 +1,3 @@
+module skyloft
+
+go 1.22

@@ -1,0 +1,116 @@
+package apps_test
+
+// Cross-engine application tests: the same workload code must behave
+// equivalently on the Skyloft engine and the simulated Linux kernel.
+
+import (
+	"testing"
+
+	"skyloft/internal/apps"
+	"skyloft/internal/apps/batchapp"
+	"skyloft/internal/apps/schbench"
+	"skyloft/internal/core"
+	"skyloft/internal/cycles"
+	"skyloft/internal/hw"
+	"skyloft/internal/ksched"
+	"skyloft/internal/policy/cfs"
+	"skyloft/internal/simtime"
+)
+
+func skyloftSystem(t *testing.T, cores int) (apps.System, *core.Engine) {
+	t.Helper()
+	list := make([]int, cores)
+	for i := range list {
+		list[i] = i
+	}
+	e := core.New(core.Config{
+		Machine:   hw.NewMachine(hw.DefaultConfig()),
+		CPUs:      list,
+		Mode:      core.PerCPU,
+		Policy:    cfs.New(cfs.DefaultParams()),
+		Costs:     core.SkyloftCosts(cycles.Default()),
+		TimerMode: core.TimerLAPIC,
+		TimerHz:   100_000,
+		Seed:      1,
+	})
+	t.Cleanup(e.Shutdown)
+	return e.NewApp("test"), e
+}
+
+func linuxSystem(t *testing.T, cores int) (apps.System, *ksched.Kernel) {
+	t.Helper()
+	list := make([]int, cores)
+	for i := range list {
+		list[i] = i
+	}
+	k := ksched.New(ksched.Config{
+		Machine: hw.NewMachine(hw.DefaultConfig()),
+		CPUs:    list,
+		Params:  ksched.DefaultParams(),
+		Class:   ksched.ClassCFS,
+		Seed:    1,
+	})
+	t.Cleanup(k.Shutdown)
+	return k, k
+}
+
+func TestSchbenchCompletesOnSkyloft(t *testing.T) {
+	sys, e := skyloftSystem(t, 4)
+	cfg := schbench.DefaultConfig(8)
+	cfg.RequestsPerWorker = 5
+	b := schbench.Launch(sys, cfg)
+	e.RunUntil(30*simtime.Second, b.Done)
+	if !b.Done() {
+		t.Fatalf("schbench incomplete: %d/%d", b.Completed(), 8*5)
+	}
+	if e.WakeupHist.Count() < 30 {
+		t.Fatalf("too few wakeup samples: %d", e.WakeupHist.Count())
+	}
+}
+
+func TestSchbenchCompletesOnLinux(t *testing.T) {
+	sys, k := linuxSystem(t, 4)
+	cfg := schbench.DefaultConfig(8)
+	cfg.RequestsPerWorker = 5
+	b := schbench.Launch(sys, cfg)
+	k.RunUntil(60*simtime.Second, b.Done)
+	if !b.Done() {
+		t.Fatalf("schbench incomplete: %d/%d", b.Completed(), 8*5)
+	}
+}
+
+func TestSchbenchSkyloftBeatsLinuxTail(t *testing.T) {
+	// The Fig. 5 invariant at miniature scale: oversubscribed workers,
+	// Skyloft p99 wakeup must be well under Linux's.
+	sysS, e := skyloftSystem(t, 2)
+	cfgS := schbench.DefaultConfig(6)
+	cfgS.RequestsPerWorker = 10
+	bS := schbench.Launch(sysS, cfgS)
+	e.RunUntil(60*simtime.Second, bS.Done)
+
+	sysL, k := linuxSystem(t, 2)
+	cfgL := schbench.DefaultConfig(6)
+	cfgL.RequestsPerWorker = 10
+	bL := schbench.Launch(sysL, cfgL)
+	k.RunUntil(120*simtime.Second, bL.Done)
+
+	sp99 := e.WakeupHist.P99()
+	lp99 := k.WakeupHist.P99()
+	if sp99*10 > lp99 {
+		t.Fatalf("Skyloft p99 %v not ≪ Linux p99 %v", sp99, lp99)
+	}
+}
+
+func TestBatchAppProgressAndShare(t *testing.T) {
+	sys, e := skyloftSystem(t, 2)
+	b := batchapp.Launch(sys, 2, 100*simtime.Microsecond)
+	e.Run(10 * simtime.Millisecond)
+	if b.Units() == 0 {
+		t.Fatal("batch made no progress")
+	}
+	// Alone on 2 cores it should consume nearly all CPU.
+	share := float64(b.CPUTime()) / float64(2*10*simtime.Millisecond)
+	if share < 0.95 {
+		t.Fatalf("batch share %.2f on idle machine, want ~1", share)
+	}
+}

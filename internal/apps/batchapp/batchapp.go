@@ -1,0 +1,45 @@
+// Package batchapp is the best-effort batch application co-located with
+// latency-critical work in §5.2's multiple-workload experiment: CPU-bound
+// threads that consume every cycle they are given. Its metric is CPU share
+// (Fig. 7c) — a good scheduler gives it the cores the LC application is not
+// using and takes them back instantly under load.
+package batchapp
+
+import (
+	"skyloft/internal/apps"
+	"skyloft/internal/sched"
+	"skyloft/internal/simtime"
+)
+
+// Batch tracks the batch application's progress.
+type Batch struct {
+	// Chunk is the unit of work between scheduler visibility points.
+	Chunk simtime.Duration
+	units uint64
+}
+
+// Launch starts n best-effort spinner threads on sys. Each loops forever
+// consuming Chunk-sized bursts; progress is measured in completed units.
+func Launch(sys apps.System, n int, chunk simtime.Duration) *Batch {
+	if chunk <= 0 {
+		chunk = 100 * simtime.Microsecond
+	}
+	b := &Batch{Chunk: chunk}
+	for i := 0; i < n; i++ {
+		sys.Start("batch", func(e sched.Env) {
+			for {
+				e.Run(b.Chunk)
+				b.units++
+			}
+		})
+	}
+	return b
+}
+
+// Units reports completed work chunks.
+func (b *Batch) Units() uint64 { return b.units }
+
+// CPUTime reports total batch CPU in virtual time.
+func (b *Batch) CPUTime() simtime.Duration {
+	return simtime.Duration(b.units) * b.Chunk
+}

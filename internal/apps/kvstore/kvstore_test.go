@@ -1,0 +1,174 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemcacheBasic(t *testing.T) {
+	m := NewMemcache(4)
+	m.Set("a", "1")
+	m.Set("b", "2")
+	if v, ok := m.Get("a"); !ok || v != "1" {
+		t.Fatal("Get(a) wrong")
+	}
+	if _, ok := m.Get("zz"); ok {
+		t.Fatal("Get(zz) should miss")
+	}
+	m.Set("a", "3")
+	if v, _ := m.Get("a"); v != "3" {
+		t.Fatal("overwrite failed")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if !m.Delete("a") || m.Delete("a") {
+		t.Fatal("Delete semantics wrong")
+	}
+	hits, misses, sets := m.Stats()
+	if hits != 2 || misses != 1 || sets != 3 {
+		t.Fatalf("stats = %d/%d/%d", hits, misses, sets)
+	}
+}
+
+func TestMemcachePreload(t *testing.T) {
+	m := NewMemcache(16)
+	m.Preload(1000)
+	if m.Len() != 1000 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if v, ok := m.Get("key-500"); !ok || v != "value-500" {
+		t.Fatal("preloaded key missing")
+	}
+}
+
+// Property: Memcache behaves like a map under any op sequence.
+func TestQuickMemcacheVsMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewMemcache(8)
+		ref := map[string]string{}
+		for i, op := range ops {
+			key := fmt.Sprintf("k%d", op%50)
+			switch op % 3 {
+			case 0:
+				val := fmt.Sprintf("v%d", i)
+				m.Set(key, val)
+				ref[key] = val
+			case 1:
+				got, ok := m.Get(key)
+				want, wok := ref[key]
+				if ok != wok || got != want {
+					return false
+				}
+			case 2:
+				if m.Delete(key) != (func() bool { _, ok := ref[key]; return ok })() {
+					return false
+				}
+				delete(ref, key)
+			}
+		}
+		return m.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLSMGetAcrossFlushes(t *testing.T) {
+	l := NewLSM(10) // tiny memtable: force flushes
+	for i := 0; i < 100; i++ {
+		l.Put(fmt.Sprintf("key-%03d", i), fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := l.Get(fmt.Sprintf("key-%03d", i))
+		if !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key-%03d lost across flush/compaction (got %q, %v)", i, v, ok)
+		}
+	}
+	_, _, _, flushes, compactions := l.Stats()
+	if flushes == 0 || compactions == 0 {
+		t.Fatalf("expected flushes and compactions: %d/%d", flushes, compactions)
+	}
+}
+
+func TestLSMNewestValueWins(t *testing.T) {
+	l := NewLSM(4)
+	l.Put("k", "old")
+	for i := 0; i < 10; i++ { // force the old value into a run
+		l.Put(fmt.Sprintf("pad%d", i), "x")
+	}
+	l.Put("k", "new")
+	if v, _ := l.Get("k"); v != "new" {
+		t.Fatalf("Get = %q, want new", v)
+	}
+	got := l.Scan("k", "k\x00", 0)
+	if len(got) != 1 || got[0] != "new" {
+		t.Fatalf("Scan sees stale value: %v", got)
+	}
+}
+
+func TestLSMScanRangeAndLimit(t *testing.T) {
+	l := NewLSM(16)
+	for i := 0; i < 50; i++ {
+		l.Put(fmt.Sprintf("key-%03d", i), fmt.Sprintf("v%d", i))
+	}
+	out := l.Scan("key-010", "key-020", 0)
+	if len(out) != 10 {
+		t.Fatalf("scan returned %d values, want 10", len(out))
+	}
+	if out[0] != "v10" || out[9] != "v19" {
+		t.Fatalf("scan range wrong: %v", out)
+	}
+	if lim := l.Scan("key-000", "key-050", 7); len(lim) != 7 {
+		t.Fatalf("limit ignored: %d", len(lim))
+	}
+}
+
+// Property: the LSM agrees with a plain map after any put sequence, and
+// scans return sorted, deduplicated ranges.
+func TestQuickLSMVsMap(t *testing.T) {
+	f := func(keys []uint8) bool {
+		l := NewLSM(8)
+		ref := map[string]string{}
+		for i, k := range keys {
+			key := fmt.Sprintf("key-%03d", k)
+			val := fmt.Sprintf("v%d", i)
+			l.Put(key, val)
+			ref[key] = val
+		}
+		for key, want := range ref {
+			if got, ok := l.Get(key); !ok || got != want {
+				return false
+			}
+		}
+		// Full scan equals the sorted reference values.
+		var refKeys []string
+		for k := range ref {
+			refKeys = append(refKeys, k)
+		}
+		sort.Strings(refKeys)
+		got := l.Scan("key-000", "key-999", 0)
+		if len(got) != len(refKeys) {
+			return false
+		}
+		for i, k := range refKeys {
+			if got[i] != ref[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLSMGetMissing(t *testing.T) {
+	l := NewLSM(4)
+	l.Put("a", "1")
+	if _, ok := l.Get("nope"); ok {
+		t.Fatal("missing key found")
+	}
+}

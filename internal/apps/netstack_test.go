@@ -1,0 +1,211 @@
+package apps_test
+
+// End-to-end tests of the user-space network stack under the Skyloft
+// engine: server threads block in socket receives and are woken through
+// the engine's external-wake path, exactly like the §3.5 datapath.
+
+import (
+	"fmt"
+	"testing"
+
+	"skyloft/internal/apps/kvstore"
+	"skyloft/internal/apps/memcacheproto"
+	"skyloft/internal/netsim"
+	"skyloft/internal/sched"
+	"skyloft/internal/simtime"
+)
+
+func TestUDPServerThreadsOnSkyloft(t *testing.T) {
+	app, e := skyloftSystem(t, 2)
+	m := e.Machine()
+
+	wire := netsim.NewWire(m.Clock, 2*simtime.Microsecond)
+	serverStack := netsim.NewStack(m.Clock, e, netsim.IP{10, 0, 0, 2}, netsim.MAC{2, 0, 0, 0, 0, 2})
+	clientStack := netsim.NewStack(m.Clock, nil, netsim.IP{10, 0, 0, 1}, netsim.MAC{2, 0, 0, 0, 0, 1})
+	serverStack.Attach(wire, 1)
+	clientStack.Attach(wire, 0)
+
+	srv, err := serverStack.BindUDP(11211)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	// A pool of worker threads blocking in RecvFrom — the POSIX-style
+	// server model; wakeups flow stack → engine → thread.
+	for i := 0; i < 2; i++ {
+		app.Start("udp-worker", func(env sched.Env) {
+			for {
+				d := srv.RecvFrom(env)
+				env.Run(2 * simtime.Microsecond) // request processing
+				srv.SendTo(d.Src, d.SrcPort, append([]byte("re:"), d.Data...))
+				served++
+			}
+		})
+	}
+
+	cli, _ := clientStack.BindUDP(0)
+	var replies int
+	cli.OnDatagram(func(d netsim.Datagram) { replies++ })
+	for i := 0; i < 50; i++ {
+		at := simtime.Time(i) * 20 * simtime.Microsecond
+		m.Clock.At(at, func() { cli.SendTo(serverStack.IPAddr, 11211, []byte("get k")) })
+	}
+	e.Run(10 * simtime.Millisecond)
+	if served != 50 || replies != 50 {
+		t.Fatalf("served=%d replies=%d, want 50/50", served, replies)
+	}
+}
+
+func TestTCPServerThreadsOnSkyloft(t *testing.T) {
+	app, e := skyloftSystem(t, 2)
+	m := e.Machine()
+
+	wire := netsim.NewWire(m.Clock, 2*simtime.Microsecond)
+	serverStack := netsim.NewStack(m.Clock, e, netsim.IP{10, 0, 0, 2}, netsim.MAC{2, 0, 0, 0, 0, 2})
+	clientStack := netsim.NewStack(m.Clock, e, netsim.IP{10, 0, 0, 1}, netsim.MAC{2, 0, 0, 0, 0, 1})
+	serverStack.Attach(wire, 1)
+	clientStack.Attach(wire, 0)
+
+	l, err := serverStack.ListenTCP(6379)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serverGot []byte
+	app.Start("tcp-acceptor", func(env sched.Env) {
+		conn := l.Accept(env)
+		for len(serverGot) < 8 {
+			chunk := conn.Recv(env, 0)
+			if chunk == nil {
+				break
+			}
+			serverGot = append(serverGot, chunk...)
+		}
+		conn.Send([]byte("done"))
+	})
+
+	var clientGot []byte
+	app.Start("tcp-client", func(env sched.Env) {
+		conn, err := clientStack.DialTCP(env, serverStack.IPAddr, 6379)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		conn.Send([]byte("GET key1"))
+		clientGot = conn.Recv(env, 0)
+		conn.Close()
+	})
+
+	e.Run(50 * simtime.Millisecond)
+	if string(serverGot) != "GET key1" {
+		t.Fatalf("server got %q", serverGot)
+	}
+	if string(clientGot) != "done" {
+		t.Fatalf("client got %q", clientGot)
+	}
+}
+
+func TestTCPUnderLossOnSkyloft(t *testing.T) {
+	app, e := skyloftSystem(t, 2)
+	m := e.Machine()
+	wire := netsim.NewWire(m.Clock, 2*simtime.Microsecond)
+	serverStack := netsim.NewStack(m.Clock, e, netsim.IP{10, 0, 0, 2}, netsim.MAC{2, 0, 0, 0, 0, 2})
+	clientStack := netsim.NewStack(m.Clock, e, netsim.IP{10, 0, 0, 1}, netsim.MAC{2, 0, 0, 0, 0, 1})
+	serverStack.Attach(wire, 1)
+	clientStack.Attach(wire, 0)
+
+	l, _ := serverStack.ListenTCP(80)
+	var got int
+	app.Start("server", func(env sched.Env) {
+		conn := l.Accept(env)
+		for got < 20*netsim.MSS {
+			chunk := conn.Recv(env, 0)
+			if chunk == nil {
+				break
+			}
+			got += len(chunk)
+		}
+	})
+	app.Start("client", func(env sched.Env) {
+		conn, err := clientStack.DialTCP(env, serverStack.IPAddr, 80)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		wire.SetLoss(0.15, 3) // inject loss after the handshake
+		payload := make([]byte, 20*netsim.MSS)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		conn.Send(payload)
+	})
+	e.Run(2 * simtime.Second)
+	if got != 20*netsim.MSS {
+		t.Fatalf("received %d/%d bytes under loss", got, 20*netsim.MSS)
+	}
+}
+
+func TestMemcachedProtocolOverWire(t *testing.T) {
+	// Full §5.3 fidelity: real "get/set" ASCII requests in real UDP/IPv4
+	// frames over the wire, parsed by worker threads on Skyloft.
+	app, e := skyloftSystem(t, 2)
+	m := e.Machine()
+	wire := netsim.NewWire(m.Clock, 2*simtime.Microsecond)
+	serverStack := netsim.NewStack(m.Clock, e, netsim.IP{10, 0, 0, 2}, netsim.MAC{2, 0, 0, 0, 0, 2})
+	clientStack := netsim.NewStack(m.Clock, nil, netsim.IP{10, 0, 0, 1}, netsim.MAC{2, 0, 0, 0, 0, 1})
+	serverStack.Attach(wire, 1)
+	clientStack.Attach(wire, 0)
+
+	store := kvstore.NewMemcache(16)
+	mc := memcacheproto.NewServer(store)
+	sock, _ := serverStack.BindUDP(11211)
+	for i := 0; i < 2; i++ {
+		app.Start("mc-worker", func(env sched.Env) {
+			for {
+				d := sock.RecvFrom(env)
+				env.Run(2 * simtime.Microsecond)
+				sock.SendTo(d.Src, d.SrcPort, mc.Handle(d.Data))
+			}
+		})
+	}
+
+	cli, _ := clientStack.BindUDP(0)
+	var stored, values, notFound int
+	cli.OnDatagram(func(d netsim.Datagram) {
+		resp, err := memcacheproto.ParseResponse(d.Data)
+		if err != nil {
+			t.Errorf("bad response: %v", err)
+			return
+		}
+		switch resp.Status {
+		case "STORED":
+			stored++
+		case "END":
+			if len(resp.Values) > 0 {
+				values++
+			} else {
+				notFound++
+			}
+		}
+	})
+	send := func(at simtime.Time, req memcacheproto.Request) {
+		m.Clock.At(at, func() {
+			cli.SendTo(serverStack.IPAddr, 11211, memcacheproto.FormatRequest(req))
+		})
+	}
+	// 10 sets, then 10 hits and 5 misses.
+	for i := 0; i < 10; i++ {
+		send(simtime.Time(i)*20*simtime.Microsecond, memcacheproto.Request{
+			Op: memcacheproto.Set, Keys: []string{fmt.Sprintf("k%d", i)},
+			Data: []byte(fmt.Sprintf("v%d", i)),
+		})
+	}
+	for i := 0; i < 15; i++ {
+		send(simtime.Time(500+i*20)*simtime.Microsecond, memcacheproto.Request{
+			Op: memcacheproto.Get, Keys: []string{fmt.Sprintf("k%d", i)},
+		})
+	}
+	e.Run(10 * simtime.Millisecond)
+	if stored != 10 || values != 10 || notFound != 5 {
+		t.Fatalf("stored=%d hits=%d misses=%d, want 10/10/5", stored, values, notFound)
+	}
+}

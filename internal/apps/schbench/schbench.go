@@ -1,0 +1,110 @@
+// Package schbench reproduces schbench v1.0 (Chris Mason's scheduler
+// benchmark, used in §5.1): M message threads repeatedly wake T worker
+// threads; each woken worker executes one simulated request (matrix
+// multiplication, ~2,300 µs with default parameters) and goes back to
+// sleep. The reported metric is worker wakeup latency — the time from the
+// wake to the worker actually running — whose tail exposes how quickly a
+// scheduler can get a newly runnable thread onto a CPU.
+package schbench
+
+import (
+	"skyloft/internal/apps"
+	"skyloft/internal/sched"
+	"skyloft/internal/simtime"
+)
+
+// Config mirrors schbench's command-line parameters.
+type Config struct {
+	// MessageThreads is schbench -m (the paper uses 1).
+	MessageThreads int
+	// Workers is schbench -t, swept in Fig. 5.
+	Workers int
+	// RequestTime is the per-request CPU burst (default ≈ 2,300 µs).
+	RequestTime simtime.Duration
+	// RequestsPerWorker bounds the run.
+	RequestsPerWorker int
+}
+
+// DefaultConfig is the paper's schbench setup.
+func DefaultConfig(workers int) Config {
+	return Config{
+		MessageThreads:    1,
+		Workers:           workers,
+		RequestTime:       2300 * simtime.Microsecond,
+		RequestsPerWorker: 50,
+	}
+}
+
+// Bench tracks a running schbench instance.
+type Bench struct {
+	cfg       Config
+	completed int
+	total     int
+}
+
+// Completed reports finished requests; Done reports whether the run is
+// complete.
+func (b *Bench) Completed() int { return b.completed }
+func (b *Bench) Done() bool     { return b.completed >= b.total }
+
+// Launch starts the benchmark threads on sys. Worker threads opt into the
+// hosting engine's wakeup-latency histogram, which is the benchmark's
+// output (read it from the engine after the run).
+func Launch(sys apps.System, cfg Config) *Bench {
+	if cfg.MessageThreads <= 0 {
+		cfg.MessageThreads = 1
+	}
+	b := &Bench{cfg: cfg, total: cfg.Workers * cfg.RequestsPerWorker}
+
+	// Completion queue: workers announce themselves done; message threads
+	// wake them for the next request.
+	var doneQ sched.Queue
+
+	perMsg := cfg.Workers / cfg.MessageThreads
+	extra := cfg.Workers % cfg.MessageThreads
+	for m := 0; m < cfg.MessageThreads; m++ {
+		nw := perMsg
+		if m < extra {
+			nw++
+		}
+		sys.Start("schbench-msg", func(e sched.Env) {
+			// Each message thread owns nw workers.
+			var workers []*sched.Thread
+			for w := 0; w < nw; w++ {
+				wt := e.Spawn("schbench-worker", func(e sched.Env) {
+					self := e.Self()
+					for r := 0; r < cfg.RequestsPerWorker; r++ {
+						e.Block() // wait for the message thread
+						e.Run(cfg.RequestTime)
+						b.completed++
+						if r+1 < cfg.RequestsPerWorker {
+							doneQ.Push(e, self)
+						}
+					}
+					// The very last completion poisons the queue so
+					// message threads drain and exit.
+					if b.completed >= b.total {
+						for i := 0; i < cfg.MessageThreads; i++ {
+							doneQ.Push(e, nil)
+						}
+					}
+				})
+				wt.RecordWakeup = true
+				workers = append(workers, wt)
+			}
+			// Kick the first round.
+			for _, w := range workers {
+				e.Wake(w)
+			}
+			// Re-wake workers as they complete requests.
+			for {
+				v := doneQ.Pop(e)
+				if v == nil {
+					return
+				}
+				e.Wake(v.(*sched.Thread))
+			}
+		})
+	}
+	return b
+}

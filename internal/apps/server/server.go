@@ -1,0 +1,140 @@
+// Package server wires network workloads to scheduling engines: requests
+// from the open-loop load generator enter through the simulated NIC's RSS
+// rings and are executed either by a fresh thread per request (the
+// dataplane model Skyloft and Shenango use — "idle cores poll the ingress
+// pool, creating new threads to process incoming packets", §3.5) or by a
+// fixed worker pool popping a shared ring (the Linux baseline model).
+package server
+
+import (
+	"fmt"
+
+	"skyloft/internal/apps"
+	"skyloft/internal/loadgen"
+	"skyloft/internal/netsim"
+	"skyloft/internal/rng"
+	"skyloft/internal/sched"
+	"skyloft/internal/simtime"
+)
+
+// Handler executes one request in thread context. It runs after the
+// datapath delivery and must consume the request's service time (plus any
+// application logic) before returning; the server records latency around
+// it.
+type Handler func(e sched.Env, p netsim.Packet)
+
+// RunService is the default handler: consume the packet's service demand.
+func RunService(e sched.Env, p netsim.Packet) { e.Run(p.Service) }
+
+// Server measures request completions.
+type Server struct {
+	Rec *loadgen.Recorder
+	nic *netsim.NIC
+}
+
+// NewThreadPerRequest attaches a thread-per-request server to all rings of
+// nic, spawning handler threads on sys.
+func NewThreadPerRequest(sys apps.System, nic *netsim.NIC, rec *loadgen.Recorder, h Handler) *Server {
+	s := &Server{Rec: rec, nic: nic}
+	for i := 0; i < nic.Rings(); i++ {
+		nic.OnRing(i, func(p netsim.Packet) {
+			sys.Start(reqName(p), func(e sched.Env) {
+				h(e, p)
+				rec.Record(e.Now(), p.Arrive, p.Service, p.Class)
+			})
+		})
+	}
+	return s
+}
+
+// NewWorkerPool attaches a worker-pool server: workers permanent threads
+// popping a shared ring (run-to-completion, the Linux CFS baseline of
+// Fig. 7a).
+func NewWorkerPool(sys apps.System, w netsim.Waker, nic *netsim.NIC, rec *loadgen.Recorder,
+	workers int, h Handler) *Server {
+	s := &Server{Rec: rec, nic: nic}
+	ring := netsim.NewRing(w)
+	for i := 0; i < nic.Rings(); i++ {
+		nic.OnRing(i, ring.PushExternal)
+	}
+	for i := 0; i < workers; i++ {
+		sys.Start(fmt.Sprintf("pool-worker-%d", i), func(e sched.Env) {
+			for {
+				p := ring.Pop(e)
+				if p.Class < 0 {
+					return // poison pill for shutdown
+				}
+				h(e, p)
+				rec.Record(e.Now(), p.Arrive, p.Service, p.Class)
+			}
+		})
+	}
+	return s
+}
+
+func reqName(p netsim.Packet) string {
+	// Avoid fmt in the hot path of large simulations.
+	return "req"
+}
+
+// Feed connects a load generator to the NIC: every generated request
+// becomes a packet delivery.
+func Feed(g *loadgen.Gen, clock loadgen.Clock, nic *netsim.NIC, limit uint64) {
+	g.Run(clock, limit, func(r loadgen.Request) {
+		nic.Deliver(netsim.Packet{
+			Service: r.Service,
+			Class:   r.Class,
+			Flow:    r.Flow,
+		})
+	})
+}
+
+// FeedDirect connects a load generator directly to a System, bypassing the
+// NIC (the Fig. 7 synthetic experiments, where the load generator runs on
+// the dispatcher core): each request becomes a fresh thread.
+func FeedDirect(g *loadgen.Gen, clock loadgen.Clock, sys apps.System,
+	rec *loadgen.Recorder, limit uint64) {
+	g.Run(clock, limit, func(r loadgen.Request) {
+		arrive := r.At
+		g := r
+		sys.Start("req", func(e sched.Env) {
+			e.Run(g.Service)
+			rec.Record(e.Now(), arrive, g.Service, g.Class)
+		})
+	})
+}
+
+// Drain pushes poison pills so worker-pool threads exit (call after the
+// load generator stops and the ring empties).
+func Drain(nic *netsim.NIC, workers int) {
+	for i := 0; i < workers; i++ {
+		nic.Deliver(netsim.Packet{Class: -1})
+	}
+}
+
+// USRClasses is Memcached's USR workload (§5.3): 99.8% GETs / 0.2% SETs
+// with ~2 µs mean service time (light-tailed).
+func USRClasses() []loadgen.Class {
+	return []loadgen.Class{
+		{Name: "GET", Weight: 0.998, Service: rng.Exponential{MeanVal: 2 * simtime.Microsecond}},
+		{Name: "SET", Weight: 0.002, Service: rng.Exponential{MeanVal: 3 * simtime.Microsecond}},
+	}
+}
+
+// RocksDBClasses is the bimodal RocksDB workload of Fig. 8b: 50% GETs at
+// 0.95 µs and 50% SCANs at 591 µs.
+func RocksDBClasses() []loadgen.Class {
+	return []loadgen.Class{
+		{Name: "GET", Weight: 0.5, Service: rng.Fixed{Value: 950}},
+		{Name: "SCAN", Weight: 0.5, Service: rng.Fixed{Value: 591 * simtime.Microsecond}},
+	}
+}
+
+// DispersiveClasses is the Fig. 7 synthetic workload: 99.5% short (4 µs)
+// and 0.5% long (10 ms) requests.
+func DispersiveClasses() []loadgen.Class {
+	return []loadgen.Class{
+		{Name: "short", Weight: 0.995, Service: rng.Fixed{Value: 4 * simtime.Microsecond}},
+		{Name: "long", Weight: 0.005, Service: rng.Fixed{Value: 10 * simtime.Millisecond}},
+	}
+}

@@ -1,0 +1,43 @@
+// Package ghostsim models ghOSt (SOSP '21), the general-purpose framework
+// the paper compares against in §5.2: scheduling decisions are delegated to
+// a user-space agent, but the scheduled units remain kernel threads. Every
+// decision is a transaction committed through the kernel, kernel→agent
+// messages ride a shared-memory queue, and preemption is a kernel IPI that
+// context-switches the victim kthread — three sources of overhead Skyloft's
+// user-space path avoids. The ghOSt-Shinjuku policy itself is identical to
+// Skyloft's (a centralized global queue with a preemption quantum); only
+// the costs differ, which is exactly the paper's point.
+package ghostsim
+
+import (
+	"skyloft/internal/core"
+	"skyloft/internal/hw"
+	"skyloft/internal/policy/shinjuku"
+	"skyloft/internal/simtime"
+)
+
+// Config selects the ghOSt-Shinjuku assembly.
+type Config struct {
+	Machine *hw.Machine
+	CPUs    []int // CPUs[0] hosts the global agent (dispatcher)
+	Quantum simtime.Duration
+	// CoreAlloc, when non-nil, enables the ghOSt-Shinjuku-Shenango agent
+	// of Fig. 7b/c (core sharing with a batch app).
+	CoreAlloc *core.CoreAllocConfig
+	Seed      uint64
+}
+
+// New assembles a ghOSt instance: the centralized engine with ghOSt's cost
+// profile (agent transactions, kernel IPIs, kthread switches).
+func New(cfg Config) *core.Engine {
+	return core.New(core.Config{
+		Machine:   cfg.Machine,
+		CPUs:      cfg.CPUs,
+		Mode:      core.Centralized,
+		Central:   shinjuku.New(cfg.Quantum),
+		Costs:     core.GhostCosts(cfg.Machine.Cost),
+		TimerMode: core.TimerNone,
+		CoreAlloc: cfg.CoreAlloc,
+		Seed:      cfg.Seed,
+	})
+}

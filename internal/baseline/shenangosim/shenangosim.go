@@ -1,0 +1,37 @@
+// Package shenangosim models Shenango (NSDI '19), the user-space runtime
+// the paper compares against on Memcached and RocksDB (§5.3): user-level
+// threads with per-core runqueues and work stealing, an IOKernel steering
+// packets and reallocating cores every 5 µs — but no µs-scale preemption
+// (its signal path is far too expensive to use at request granularity), and
+// idle kthreads that park in the kernel and must be woken when work
+// arrives. On light-tailed Memcached it matches Skyloft; on bimodal RocksDB
+// the missing preemption lets SCANs blockade GETs (Fig. 8b).
+package shenangosim
+
+import (
+	"skyloft/internal/core"
+	"skyloft/internal/hw"
+	"skyloft/internal/policy/worksteal"
+)
+
+// Config selects the Shenango runtime assembly.
+type Config struct {
+	Machine *hw.Machine
+	CPUs    []int
+	Seed    uint64
+}
+
+// New assembles a Shenango runtime: the per-CPU engine with work stealing,
+// no timer (no preemption), and Shenango's cost profile (IOKernel wake
+// path, parked-core unpark cost, signal-based preemption if ever used).
+func New(cfg Config) *core.Engine {
+	return core.New(core.Config{
+		Machine:   cfg.Machine,
+		CPUs:      cfg.CPUs,
+		Mode:      core.PerCPU,
+		Policy:    worksteal.New(0, cfg.Seed), // quantum 0: no preemption
+		Costs:     core.ShenangoCosts(cfg.Machine.Cost),
+		TimerMode: core.TimerNone,
+		Seed:      cfg.Seed,
+	})
+}

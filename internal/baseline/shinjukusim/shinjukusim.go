@@ -1,0 +1,36 @@
+// Package shinjukusim models the original Shinjuku system (NSDI '19): a
+// dedicated spinning dispatcher with a global queue and posted-interrupt
+// preemption via Dune. Its preemption costs are close to Skyloft's user
+// IPIs — which is why the two track each other in Fig. 7a — but it
+// dedicates its cores to a single application, so in the multi-workload
+// experiment (Fig. 7b/c) its batch CPU share is exactly zero.
+package shinjukusim
+
+import (
+	"skyloft/internal/core"
+	"skyloft/internal/hw"
+	"skyloft/internal/policy/shinjuku"
+	"skyloft/internal/simtime"
+)
+
+// Config selects the Shinjuku assembly.
+type Config struct {
+	Machine *hw.Machine
+	CPUs    []int // CPUs[0] is the dedicated dispatcher
+	Quantum simtime.Duration
+	Seed    uint64
+}
+
+// New assembles a Shinjuku instance. Core allocation is deliberately not
+// supported: Shinjuku cannot share cores with other applications.
+func New(cfg Config) *core.Engine {
+	return core.New(core.Config{
+		Machine:   cfg.Machine,
+		CPUs:      cfg.CPUs,
+		Mode:      core.Centralized,
+		Central:   shinjuku.New(cfg.Quantum),
+		Costs:     core.ShinjukuCosts(cfg.Machine.Cost),
+		TimerMode: core.TimerNone,
+		Seed:      cfg.Seed,
+	})
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"testing"
+
+	"skyloft/internal/simtime"
+)
+
+func TestAblationTimerModeDeadlineCheaper(t *testing.T) {
+	rows := AblationTimerMode(0.6, 60*simtime.Millisecond, 1)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	periodic, deadline := rows[0], rows[1]
+	// Same quantum, comparable tail behaviour...
+	if deadline.P999Slow > periodic.P999Slow*1.5 {
+		t.Fatalf("deadline slowdown %.1f much worse than periodic %.1f",
+			deadline.P999Slow, periodic.P999Slow)
+	}
+	// ...with substantially fewer timer interrupts (no idle ticks).
+	if deadline.TimerFires >= periodic.TimerFires {
+		t.Fatalf("deadline fires %d not fewer than periodic %d",
+			deadline.TimerFires, periodic.TimerFires)
+	}
+}
+
+func TestAblationNetModeThroughputParity(t *testing.T) {
+	rows := AblationNetMode(0.6, 60*simtime.Millisecond, 1)
+	polling, irq := rows[0], rows[1]
+	if irq.MSIs == 0 {
+		t.Fatal("interrupt mode raised no MSIs")
+	}
+	if irq.Tput < polling.Tput*0.95 {
+		t.Fatalf("interrupt mode throughput %.0f below polling %.0f",
+			irq.Tput, polling.Tput)
+	}
+	// The trade-off: handler work moves onto the worker cores, so tails
+	// grow somewhat — but stay the same order of magnitude.
+	if irq.P99 > polling.P99*5 {
+		t.Fatalf("interrupt-mode p99 %.1f blew up vs polling %.1f", irq.P99, polling.P99)
+	}
+}
+
+func TestAblationEngineModelsComparable(t *testing.T) {
+	perCPU, central := AblationEngineModel(0.8, 60*simtime.Millisecond, 1)
+	if perCPU.Done == 0 || central.Done == 0 {
+		t.Fatal("no completions")
+	}
+	ratio := perCPU.P99 / central.P99
+	if ratio < 0.3 || ratio > 3 {
+		t.Fatalf("models diverge unexpectedly: per-cpu p99=%.1f central p99=%.1f",
+			perCPU.P99, central.P99)
+	}
+}
+
+func TestAblationCostSensitivityOrderingRobust(t *testing.T) {
+	ratios := CostSensitivity([]float64{0.5, 1, 2}, 50*simtime.Millisecond, 1)
+	for scale, ratio := range ratios {
+		if ratio <= 1 {
+			t.Fatalf("at cost scale %.1f ghost p99 ratio %.2f <= 1 — ordering not robust", scale, ratio)
+		}
+	}
+}

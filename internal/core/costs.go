@@ -1,0 +1,181 @@
+package core
+
+import (
+	"skyloft/internal/cycles"
+	"skyloft/internal/simtime"
+)
+
+// EngineCosts parameterise the engine so that the same machinery can model
+// Skyloft and the systems it is compared against: the differences between
+// Skyloft, ghOSt, Shenango and Shinjuku that matter for the evaluation are
+// (a) what a scheduling decision costs, (b) what preemption costs, and
+// (c) what a context switch costs — all captured here.
+type EngineCosts struct {
+	// Switch is the cost of switching to a different task on a core
+	// (user-level context switch for Skyloft/Shenango/Shinjuku,
+	// kernel-thread switch for ghOSt).
+	Switch simtime.Duration
+
+	// Pick is the scheduler-code cost of one dequeue decision.
+	Pick simtime.Duration
+
+	// DispatchDecision is the dispatcher's cost per assignment in the
+	// centralized model (Skyloft: queue pop + mailbox write; ghOSt: a
+	// shared-memory transaction committed via the kernel).
+	DispatchDecision simtime.Duration
+
+	// Handoff is the worker-side cost of picking up an assigned task.
+	Handoff simtime.Duration
+
+	// WakePath is the extra cost on the wake path (ghOSt: kernel-to-agent
+	// message; Shenango: IOKernel involvement).
+	WakePath simtime.Duration
+
+	// UnparkCost is charged when an idle core must be brought back from a
+	// parked kernel thread (Shenango parks idle kthreads; Skyloft polls).
+	UnparkCost simtime.Duration
+
+	// Preempt is the preemption notification mechanism (Table 6 row).
+	Preempt PreemptMech
+
+	// TimerReceive is the per-tick handler entry cost for the local timer
+	// (user timer interrupt for Skyloft; setitimer signal for a
+	// signal-based design).
+	TimerReceive simtime.Duration
+
+	// Rearm is the in-handler SENDUIPI(SN=1) cost for delegated timers.
+	Rearm simtime.Duration
+
+	// TimerArm is the cost of programming a one-shot deadline from user
+	// space (TimerDeadline mode): a mapped register write.
+	TimerArm simtime.Duration
+
+	// Yield, Spawn, Mutex, Condvar are the thread-operation costs
+	// (Table 7).
+	Yield, Spawn, Mutex, Condvar simtime.Duration
+}
+
+// PreemptMech is one notification mechanism from Table 6.
+type PreemptMech struct {
+	Name    string
+	Send    simtime.Duration // sender-side cost
+	Deliver simtime.Duration // wire latency
+	Receive simtime.Duration // receiver-side handler entry/exit cost
+	// ExtraSwitch is additional kernel work on the receiving side
+	// (kernel-thread switch for kernel IPI / signal based preemption).
+	ExtraSwitch simtime.Duration
+	// UseUINTR routes the preemption through the modelled UINTR hardware
+	// (UPID/UITT/SENDUIPI) instead of a plain IRQ with the above costs.
+	UseUINTR bool
+}
+
+// UserIPIMech is Skyloft's SENDUIPI preemption.
+func UserIPIMech(c cycles.Model) PreemptMech {
+	return PreemptMech{
+		Name:     "user-ipi",
+		Send:     c.UserIPISend,
+		Deliver:  c.UserIPIDeliver,
+		Receive:  c.UserIPIReceive,
+		UseUINTR: true,
+	}
+}
+
+// KernelIPIMech is ghOSt's kernel-IPI preemption: the kernel interrupts the
+// target CPU and context-switches the victim kthread.
+func KernelIPIMech(c cycles.Model) PreemptMech {
+	return PreemptMech{
+		Name:        "kernel-ipi",
+		Send:        c.KernelIPISend,
+		Deliver:     c.KernelIPIDeliver,
+		Receive:     c.KernelIPIReceive,
+		ExtraSwitch: c.KthreadSwitch,
+	}
+}
+
+// SignalMech is Shenango-style signal preemption: kernel IPI plus a signal
+// frame delivered to a user handler.
+func SignalMech(c cycles.Model) PreemptMech {
+	return PreemptMech{
+		Name:        "signal",
+		Send:        c.SignalSend,
+		Deliver:     c.SignalDeliver,
+		Receive:     c.SignalReceive,
+		ExtraSwitch: 0,
+	}
+}
+
+// PostedIntrMech is Shinjuku's VT-x posted-interrupt preemption — close to
+// user IPIs in cost (both bypass the kernel on the receive path).
+func PostedIntrMech(c cycles.Model) PreemptMech {
+	return PreemptMech{
+		Name:    "posted-intr",
+		Send:    c.UserIPISend + 50, // VMX posted-interrupt descriptor update
+		Deliver: c.UserIPIDeliver,
+		Receive: c.UserIPIReceive + 100, // Dune vmexit-free but ring transition
+	}
+}
+
+// SkyloftCosts is the Skyloft LibOS profile: user-level threads, user
+// timer interrupts, SENDUIPI preemption.
+func SkyloftCosts(c cycles.Model) EngineCosts {
+	return EngineCosts{
+		Switch:           c.UthreadSwitch,
+		Pick:             c.SchedPick,
+		DispatchDecision: c.DispatchPoll,
+		Handoff:          c.RingHop,
+		WakePath:         0,
+		UnparkCost:       0,
+		Preempt:          UserIPIMech(c),
+		TimerReceive:     c.UserTimerReceive,
+		Rearm:            c.SelfUIPIRearm,
+		TimerArm:         10, // mapped LAPIC deadline-register write
+		// Table 7's 37 ns yield is the full user-level reschedule; the
+		// engine realises it as Pick + Switch, so no extra charge here.
+		Yield:   0,
+		Spawn:   c.UthreadSpawn,
+		Mutex:   c.UthreadMutex,
+		Condvar: c.UthreadCondvar,
+	}
+}
+
+// GhostCosts is the ghOSt profile: kernel threads scheduled by a user-space
+// agent through kernel transactions; preemption by kernel IPI.
+func GhostCosts(c cycles.Model) EngineCosts {
+	return EngineCosts{
+		Switch:           c.KthreadSwitch,
+		Pick:             c.SchedPick,
+		DispatchDecision: c.GhostTxnCommit,
+		Handoff:          c.KthreadSwitchWake, // kernel must wake the chosen kthread
+		WakePath:         c.GhostMessage,
+		UnparkCost:       0,
+		Preempt:          KernelIPIMech(c),
+		TimerReceive:     c.KernelTick,
+		Rearm:            0,
+		Yield:            c.PthreadYield,
+		Spawn:            c.PthreadSpawn,
+		Mutex:            c.PthreadMutex,
+		Condvar:          c.PthreadCondvar,
+	}
+}
+
+// ShenangoCosts is the Shenango runtime profile: user-level threads with
+// work stealing, but signal-based (in practice unused) preemption and
+// parked idle kthreads that the IOKernel must unpark.
+func ShenangoCosts(c cycles.Model) EngineCosts {
+	e := SkyloftCosts(c)
+	e.Preempt = SignalMech(c)
+	e.TimerReceive = c.SetitimerReceive
+	e.Rearm = 0
+	e.WakePath = c.RingHop // IOKernel forwards wakeups via shared rings
+	e.UnparkCost = c.KthreadSwitchWake
+	return e
+}
+
+// ShinjukuCosts is the original Shinjuku profile: user-level contexts with
+// posted-interrupt preemption (via Dune), dedicated cores.
+func ShinjukuCosts(c cycles.Model) EngineCosts {
+	e := SkyloftCosts(c)
+	e.Preempt = PostedIntrMech(c)
+	e.DispatchDecision = c.DispatchPoll + 20 // Dune/VM overhead on the dispatch path
+	return e
+}

@@ -1,0 +1,198 @@
+package core
+
+// Tests for the §6 extension features: one-shot deadline timers, async
+// I/O vs passive faults, and interrupt-driven networking.
+
+import (
+	"testing"
+
+	"skyloft/internal/netsim"
+	"skyloft/internal/rng"
+	"skyloft/internal/sched"
+	"skyloft/internal/simtime"
+)
+
+func TestDeadlineTimerPreempts(t *testing.T) {
+	e := newEngine(t, Config{
+		CPUs: cpus(1), Policy: newTestFIFO(20 * simtime.Microsecond),
+		TimerMode: TimerDeadline, DeadlineQuantum: 20 * simtime.Microsecond,
+	})
+	app := e.NewApp("app")
+	a := app.Start("a", func(env sched.Env) { env.Run(simtime.Millisecond) })
+	b := app.Start("b", func(env sched.Env) { env.Run(simtime.Millisecond) })
+	e.Run(500 * simtime.Microsecond)
+	if e.Preemptions() < 10 {
+		t.Fatalf("deadline timer produced %d preemptions", e.Preemptions())
+	}
+	ratio := float64(a.CPUTime) / float64(b.CPUTime)
+	if ratio < 0.7 || ratio > 1.5 {
+		t.Fatalf("unfair sharing under deadline timer: %v vs %v", a.CPUTime, b.CPUTime)
+	}
+}
+
+func TestDeadlineTimerNoIdleTicks(t *testing.T) {
+	// The point of deadline mode: a fully idle machine takes (almost) no
+	// timer interrupts, unlike a 100 kHz periodic tick.
+	periodic := newEngine(t, Config{
+		CPUs: cpus(2), Policy: newTestFIFO(20 * simtime.Microsecond),
+		TimerMode: TimerLAPIC, TimerHz: 100_000,
+	})
+	app := periodic.NewApp("app")
+	app.Start("tiny", func(env sched.Env) { env.Run(10 * simtime.Microsecond) })
+	periodic.Run(10 * simtime.Millisecond)
+	periodicEvents := periodic.Machine().Clock.Dispatched()
+
+	deadline := newEngine(t, Config{
+		CPUs: cpus(2), Policy: newTestFIFO(20 * simtime.Microsecond),
+		TimerMode: TimerDeadline, DeadlineQuantum: 20 * simtime.Microsecond,
+	})
+	app2 := deadline.NewApp("app")
+	app2.Start("tiny", func(env sched.Env) { env.Run(10 * simtime.Microsecond) })
+	deadline.Run(10 * simtime.Millisecond)
+	deadlineEvents := deadline.Machine().Clock.Dispatched()
+
+	if deadlineEvents*10 > periodicEvents {
+		t.Fatalf("deadline mode not cheaper when idle: %d vs %d events",
+			deadlineEvents, periodicEvents)
+	}
+}
+
+func TestIOKeepsCoreFree(t *testing.T) {
+	e := newEngine(t, Config{CPUs: cpus(1), Policy: newTestFIFO(0), TimerMode: TimerNone})
+	app := e.NewApp("app")
+	var otherRan simtime.Time
+	app.Start("io-bound", func(env sched.Env) {
+		env.IO(500 * simtime.Microsecond) // async I/O: core stays free
+	})
+	app.Start("cpu-bound", func(env sched.Env) {
+		env.Run(10 * simtime.Microsecond)
+		otherRan = env.Now()
+	})
+	e.Run(simtime.Millisecond)
+	if otherRan == 0 || otherRan > 50*simtime.Microsecond {
+		t.Fatalf("cpu-bound thread ran at %v — async I/O should free the core", otherRan)
+	}
+}
+
+func TestFaultStallsCore(t *testing.T) {
+	// The §6 hazard: a passive fault blocks the active kernel thread and
+	// with it the whole isolated core.
+	e := newEngine(t, Config{CPUs: cpus(1), Policy: newTestFIFO(0), TimerMode: TimerNone})
+	app := e.NewApp("app")
+	var otherRan simtime.Time
+	app.Start("faulty", func(env sched.Env) {
+		env.Fault(500 * simtime.Microsecond)
+	})
+	app.Start("victim", func(env sched.Env) {
+		env.Run(10 * simtime.Microsecond)
+		otherRan = env.Now()
+	})
+	e.Run(simtime.Millisecond)
+	if otherRan < 500*simtime.Microsecond {
+		t.Fatalf("victim ran at %v — the fault should have stalled the core", otherRan)
+	}
+	if e.Faults() != 1 {
+		t.Fatalf("Faults() = %d", e.Faults())
+	}
+}
+
+func TestNetIRQDeliversPackets(t *testing.T) {
+	e := newEngine(t, Config{CPUs: cpus(2), Policy: newTestFIFO(0), TimerMode: TimerNone})
+	app := e.NewApp("srv")
+	m := e.Machine()
+	nic := netsim.NewNIC(m.Clock, m.Cost, 2)
+	served := 0
+	for i := 0; i < 2; i++ {
+		nic.OnRing(i, func(p netsim.Packet) {
+			app.Start("req", func(env sched.Env) {
+				env.Run(p.Service)
+				served++
+			})
+		})
+	}
+	e.EnableNetIRQ(nic)
+	r := rng.New(3)
+	for i := 0; i < 100; i++ {
+		flow := r.Uint64()
+		m.Clock.After(simtime.Duration(i)*10*simtime.Microsecond, func() {
+			nic.Deliver(netsim.Packet{Service: 5 * simtime.Microsecond, Flow: flow})
+		})
+	}
+	e.Run(5 * simtime.Millisecond)
+	if served != 100 {
+		t.Fatalf("served %d/100 via interrupt-driven NIC", served)
+	}
+	if e.NetMSIs() == 0 {
+		t.Fatal("no MSIs raised")
+	}
+	if nic.Delivered() != 100 {
+		t.Fatalf("NIC delivered %d", nic.Delivered())
+	}
+}
+
+func TestNetIRQCoalesces(t *testing.T) {
+	// A burst delivered while the handler is busy coalesces into fewer
+	// notifications than packets (UPID.ON semantics).
+	e := newEngine(t, Config{CPUs: cpus(1), Policy: newTestFIFO(0), TimerMode: TimerNone})
+	app := e.NewApp("srv")
+	m := e.Machine()
+	nic := netsim.NewNIC(m.Clock, m.Cost, 1)
+	served := 0
+	nic.OnRing(0, func(p netsim.Packet) {
+		app.Start("req", func(env sched.Env) {
+			env.Run(20 * simtime.Microsecond)
+			served++
+		})
+	})
+	e.EnableNetIRQ(nic)
+	m.Clock.After(simtime.Microsecond, func() {
+		for i := 0; i < 50; i++ {
+			nic.Deliver(netsim.Packet{Service: 1, Flow: 1})
+		}
+	})
+	e.Run(5 * simtime.Millisecond)
+	if served != 50 {
+		t.Fatalf("served %d/50", served)
+	}
+	if e.NetMSIs() >= 50 {
+		t.Fatalf("MSIs = %d — burst should coalesce", e.NetMSIs())
+	}
+}
+
+func TestNetIRQWithTimerPreemption(t *testing.T) {
+	// Net IRQs and delegated timer ticks share the UINV vector path and
+	// must coexist: a long task is preempted while packets keep landing.
+	e := newEngine(t, Config{
+		CPUs: cpus(2), Policy: newTestFIFO(20 * simtime.Microsecond),
+		TimerMode: TimerLAPIC, TimerHz: 100_000,
+	})
+	app := e.NewApp("srv")
+	m := e.Machine()
+	nic := netsim.NewNIC(m.Clock, m.Cost, 2)
+	served := 0
+	for i := 0; i < 2; i++ {
+		nic.OnRing(i, func(p netsim.Packet) {
+			app.Start("req", func(env sched.Env) {
+				env.Run(p.Service)
+				served++
+			})
+		})
+	}
+	e.EnableNetIRQ(nic)
+	app.Start("hog", func(env sched.Env) { env.Run(2 * simtime.Millisecond) })
+	app.Start("hog2", func(env sched.Env) { env.Run(2 * simtime.Millisecond) })
+	r := rng.New(9)
+	for i := 0; i < 40; i++ {
+		flow := r.Uint64()
+		m.Clock.After(simtime.Duration(i)*50*simtime.Microsecond, func() {
+			nic.Deliver(netsim.Packet{Service: 3 * simtime.Microsecond, Flow: flow})
+		})
+	}
+	e.Run(10 * simtime.Millisecond)
+	if served != 40 {
+		t.Fatalf("served %d/40 alongside hogs", served)
+	}
+	if e.Preemptions() == 0 {
+		t.Fatal("no preemptions despite hogs and quantum")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+// Failure injection (DESIGN.md §5): timer storms, application exit races,
+// and preemption floods must degrade gracefully, never corrupt scheduler
+// state (the engines' internal panics act as the invariant checkers).
+
+import (
+	"testing"
+
+	"skyloft/internal/sched"
+	"skyloft/internal/simtime"
+)
+
+func TestTimerStorm(t *testing.T) {
+	// A 2 MHz user timer (500 ns period, not far above the ~380 ns handler
+	// cost) must not wedge or corrupt the engine — work still completes,
+	// just slowly. (At 10 MHz the handler cost exceeds the period and the
+	// machine correctly livelocks, as real hardware would.)
+	e := newEngine(t, Config{
+		CPUs: cpus(2), Policy: newTestFIFO(simtime.Microsecond),
+		TimerMode: TimerLAPIC, TimerHz: 2_000_000,
+	})
+	app := e.NewApp("app")
+	done := 0
+	for i := 0; i < 4; i++ {
+		app.Start("w", func(env sched.Env) {
+			env.Run(50 * simtime.Microsecond)
+			done++
+		})
+	}
+	e.Run(5 * simtime.Millisecond)
+	if done != 4 {
+		t.Fatalf("%d/4 tasks survived the timer storm", done)
+	}
+	if e.Preemptions() == 0 {
+		t.Fatal("storm produced no preemptions at 1us quantum")
+	}
+}
+
+func TestPreemptionFloodCentralized(t *testing.T) {
+	// A 1 µs quantum on the centralized engine: every request is preempted
+	// dozens of times; everything must still complete exactly once.
+	e := newEngine(t, Config{
+		CPUs: cpus(3), Mode: Centralized,
+		Central: &testCentral{quantum: simtime.Microsecond}, TimerMode: TimerNone,
+	})
+	app := e.NewApp("app")
+	done := 0
+	for i := 0; i < 30; i++ {
+		app.Start("req", func(env sched.Env) {
+			env.Run(20 * simtime.Microsecond)
+			done++
+		})
+	}
+	e.Run(50 * simtime.Millisecond)
+	if done != 30 {
+		t.Fatalf("%d/30 requests under preemption flood", done)
+	}
+	if e.Preemptions() < 100 {
+		t.Fatalf("only %d preemptions at 1us quantum", e.Preemptions())
+	}
+}
+
+func TestAppExitRace(t *testing.T) {
+	// Applications whose last threads exit while their siblings are being
+	// preempted and woken: termination (§3.3) must leave every core with
+	// a consistent binding.
+	e := newEngine(t, Config{
+		CPUs: cpus(2), Policy: newTestFIFO(10 * simtime.Microsecond),
+		TimerMode: TimerLAPIC, TimerHz: 100_000,
+	})
+	apps := make([]*App, 4)
+	finished := 0
+	for i := range apps {
+		apps[i] = e.NewApp("app")
+		for j := 0; j < 3; j++ {
+			apps[i].Start("w", func(env sched.Env) {
+				for k := 0; k < 5; k++ {
+					env.Run(simtime.Duration(5+env.Rand().Intn(20)) * simtime.Microsecond)
+					env.Yield()
+				}
+				finished++
+			})
+		}
+	}
+	e.Run(50 * simtime.Millisecond)
+	if finished != 12 {
+		t.Fatalf("%d/12 threads finished across app exits", finished)
+	}
+	// Every core still has exactly one active kernel thread (the Single
+	// Binding Rule held throughout — kmod panics on violation).
+	for cpu := 0; cpu < 2; cpu++ {
+		if e.KernelModule().ActiveOn(cpu) == nil {
+			t.Fatalf("core %d left with no active kthread", cpu)
+		}
+	}
+}
+
+func TestWakeExitedThreadIsNoop(t *testing.T) {
+	e := newEngine(t, Config{CPUs: cpus(1), Policy: newTestFIFO(0), TimerMode: TimerNone})
+	app := e.NewApp("app")
+	var victim *sched.Thread
+	victim = app.Start("victim", func(env sched.Env) {
+		env.Run(simtime.Microsecond)
+	})
+	app.Start("waker", func(env sched.Env) {
+		env.Run(10 * simtime.Microsecond) // victim exits first
+		env.Wake(victim)                  // must not resurrect it
+		env.Run(simtime.Microsecond)
+	})
+	e.Run(simtime.Millisecond)
+	if victim.State != sched.Exited {
+		t.Fatalf("victim state %v", victim.State)
+	}
+}
+
+func TestSleepWakeRace(t *testing.T) {
+	// An explicit Wake racing a Sleep timeout: the thread must resume
+	// exactly once (the sleep event is cancelled on wake).
+	e := newEngine(t, Config{CPUs: cpus(2), Policy: newTestFIFO(0), TimerMode: TimerNone})
+	app := e.NewApp("app")
+	resumes := 0
+	var sleeper *sched.Thread
+	sleeper = app.Start("sleeper", func(env sched.Env) {
+		for i := 0; i < 10; i++ {
+			env.Sleep(10 * simtime.Microsecond)
+			resumes++
+		}
+	})
+	app.Start("waker", func(env sched.Env) {
+		for i := 0; i < 10; i++ {
+			env.Sleep(10 * simtime.Microsecond) // collide with the sleeper's timeout
+			if sleeper.State != sched.Exited {
+				env.Wake(sleeper)
+			}
+		}
+	})
+	e.Run(5 * simtime.Millisecond)
+	if resumes != 10 {
+		t.Fatalf("sleeper resumed %d times, want exactly 10", resumes)
+	}
+}

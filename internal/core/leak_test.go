@@ -1,0 +1,52 @@
+package core
+
+// Shutdown must reap every simulated-thread goroutine, including ones
+// whose last observed state is Running (parked mid-request).
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"skyloft/internal/cycles"
+	"skyloft/internal/hw"
+	"skyloft/internal/sched"
+	"skyloft/internal/simtime"
+)
+
+func newMachineForLeak() *hw.Machine   { return hw.NewMachine(hw.DefaultConfig()) }
+func defaultCostForLeak() cycles.Model { return cycles.Default() }
+
+func TestShutdownReapsAllGoroutines(t *testing.T) {
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		e := New(Config{
+			Machine: newMachineForLeak(), CPUs: []int{0, 1},
+			Mode: PerCPU, Policy: newTestFIFO(10 * simtime.Microsecond),
+			Costs:     SkyloftCosts(defaultCostForLeak()),
+			TimerMode: TimerLAPIC, TimerHz: 100_000, Seed: uint64(round),
+		})
+		app := e.NewApp("app")
+		for i := 0; i < 50; i++ {
+			app.Start("w", func(env sched.Env) {
+				for {
+					env.Run(20 * simtime.Microsecond)
+					env.Sleep(5 * simtime.Microsecond)
+				}
+			})
+		}
+		e.Run(2 * simtime.Millisecond) // stop mid-flight: threads in all states
+		e.Shutdown()
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		runtime.Gosched()
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), base)
+}

@@ -1,0 +1,140 @@
+package core
+
+// Engine runs with tracing enabled: the recorded schedule must satisfy the
+// global invariants (one task per core, one core per task, no zombie
+// dispatches) under heavy churn in both scheduling models.
+
+import (
+	"testing"
+
+	"skyloft/internal/sched"
+	"skyloft/internal/simtime"
+	"skyloft/internal/trace"
+)
+
+func TestTraceInvariantsPerCPU(t *testing.T) {
+	tr := trace.New(1 << 18)
+	e := newEngine(t, Config{
+		CPUs: cpus(2), Policy: newTestFIFO(10 * simtime.Microsecond),
+		TimerMode: TimerLAPIC, TimerHz: 100_000, Trace: tr,
+	})
+	lc := e.NewApp("lc")
+	be := e.NewApp("be")
+	for i := 0; i < 6; i++ {
+		app := lc
+		if i%2 == 1 {
+			app = be
+		}
+		app.Start("churn", func(env sched.Env) {
+			for j := 0; j < 30; j++ {
+				switch j % 4 {
+				case 0:
+					env.Run(simtime.Duration(5+env.Rand().Intn(40)) * simtime.Microsecond)
+				case 1:
+					env.Yield()
+				case 2:
+					env.Sleep(simtime.Duration(1+env.Rand().Intn(20)) * simtime.Microsecond)
+				case 3:
+					env.Run(60 * simtime.Microsecond) // long enough to be preempted
+				}
+			}
+		})
+	}
+	e.Run(50 * simtime.Millisecond)
+	evs := tr.Events()
+	if len(evs) < 100 {
+		t.Fatalf("thin trace: %d events", len(evs))
+	}
+	if err := trace.Validate(evs); err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+	s := trace.Summarise(evs)
+	if s.Preempts == 0 || s.AppSwitches == 0 || s.Wakes == 0 {
+		t.Fatalf("expected churn: %+v", s)
+	}
+	// Engine counters agree with the trace.
+	if uint64(s.Preempts) != e.Preemptions() {
+		t.Fatalf("trace preempts %d != engine %d", s.Preempts, e.Preemptions())
+	}
+}
+
+func TestTraceInvariantsCentralized(t *testing.T) {
+	tr := trace.New(1 << 18)
+	e := newEngine(t, Config{
+		CPUs: cpus(4), Mode: Centralized,
+		Central:   &testCentral{quantum: 15 * simtime.Microsecond},
+		TimerMode: TimerNone, Trace: tr,
+	})
+	app := e.NewApp("app")
+	done := 0
+	for i := 0; i < 60; i++ {
+		d := simtime.Duration(2+i%50) * simtime.Microsecond
+		app.Start("req", func(env sched.Env) {
+			env.Run(d)
+			done++
+		})
+	}
+	e.Run(50 * simtime.Millisecond)
+	if done != 60 {
+		t.Fatalf("%d/60 done", done)
+	}
+	if err := trace.Validate(tr.Events()); err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+	s := trace.Summarise(tr.Events())
+	if s.Dispatches < 60 || s.Preempts == 0 {
+		t.Fatalf("unexpected trace shape: %+v", s)
+	}
+}
+
+func TestTraceInvariantsWorkStealChurn(t *testing.T) {
+	// Heavy mixed churn with stealing + preemption + multi-app + faults.
+	tr := trace.New(1 << 19)
+	e := newEngine(t, Config{
+		CPUs: cpus(3), Policy: newStealFIFO(8 * simtime.Microsecond),
+		TimerMode: TimerLAPIC, TimerHz: 200_000, Trace: tr,
+	})
+	a := e.NewApp("a")
+	b := e.NewApp("b")
+	for i := 0; i < 8; i++ {
+		app := a
+		if i%3 == 0 {
+			app = b
+		}
+		app.Start("w", func(env sched.Env) {
+			for j := 0; j < 25; j++ {
+				env.Run(simtime.Duration(3+env.Rand().Intn(30)) * simtime.Microsecond)
+				if j%5 == 0 {
+					env.IO(10 * simtime.Microsecond)
+				}
+				if j%11 == 0 {
+					env.Fault(5 * simtime.Microsecond)
+				}
+			}
+		})
+	}
+	e.Run(100 * simtime.Millisecond)
+	if err := trace.Validate(tr.Events()); err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+}
+
+// newStealFIFO extends testFIFO with work stealing for churn tests.
+type stealFIFO struct {
+	*testFIFO
+}
+
+func newStealFIFO(q simtime.Duration) *stealFIFO {
+	return &stealFIFO{testFIFO: newTestFIFO(q)}
+}
+
+func (p *stealFIFO) SchedBalance(cpu int) *sched.Thread {
+	for v := range p.rq {
+		if v != cpu {
+			if t := p.rq[v].PopBack(); t != nil {
+				return t
+			}
+		}
+	}
+	return nil
+}

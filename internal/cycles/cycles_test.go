@@ -1,0 +1,99 @@
+package cycles
+
+import (
+	"testing"
+	"testing/quick"
+
+	"skyloft/internal/simtime"
+)
+
+func TestFromCycles(t *testing.T) {
+	// 2 GHz: one cycle is half a nanosecond.
+	if FromCycles(2000) != 1000 {
+		t.Fatalf("FromCycles(2000) = %v", FromCycles(2000))
+	}
+	if FromCycles(1211) != 605 {
+		t.Fatalf("FromCycles(1211) = %v", FromCycles(1211))
+	}
+}
+
+func TestDefaultMatchesPaperTables(t *testing.T) {
+	m := Default()
+	// Spot-check Table 6 conversions.
+	cases := []struct {
+		got    simtime.Duration
+		cycles int64
+	}{
+		{m.SignalSend, 1224},
+		{m.SignalReceive, 6359},
+		{m.KernelIPISend, 437},
+		{m.UserIPISend, 167},
+		{m.UserIPIReceive, 661},
+		{m.UserTimerReceive, 642},
+		{m.SetitimerReceive, 5057},
+		{m.SelfUIPIRearm, 123},
+	}
+	for _, c := range cases {
+		if c.got != FromCycles(c.cycles) {
+			t.Errorf("cost %v != %d cycles (%v)", c.got, c.cycles, FromCycles(c.cycles))
+		}
+	}
+	// Table 7 (ns, direct).
+	if m.UthreadYield != 37 || m.UthreadSpawn != 191 || m.PthreadSpawn != 15418 {
+		t.Fatal("Table 7 constants wrong")
+	}
+	// §5.4 context switches.
+	if m.AppSwitch != 1905 || m.KthreadSwitch != 1124 || m.KthreadSwitchWake != 2471 {
+		t.Fatal("context switch constants wrong")
+	}
+}
+
+func TestOrderingsThePaperRequires(t *testing.T) {
+	m := Default()
+	// Table 6: user timer < user IPI receive < kernel IPI < signal.
+	if !(m.UserTimerReceive < m.UserIPIReceive &&
+		m.UserIPIReceive < m.KernelIPIReceive &&
+		m.KernelIPIReceive < m.SignalReceive) {
+		t.Fatal("receive-cost ordering broken")
+	}
+	// Same-socket user IPIs are cheaper than cross-NUMA ones.
+	if !(m.UserIPIDeliver < m.UserIPIDeliverXNUMA && m.UserIPIReceive < m.UserIPIReceiveXNUMA) {
+		t.Fatal("NUMA ordering broken")
+	}
+	// Skyloft thread ops beat pthread equivalents.
+	if !(m.UthreadYield < m.PthreadYield && m.UthreadSpawn < m.PthreadSpawn &&
+		m.UthreadCondvar < m.PthreadCondvar) {
+		t.Fatal("threading ordering broken")
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := Default()
+	d := m.Scale(2)
+	if d.UserIPISend != 2*m.UserIPISend || d.SignalReceive != 2*m.SignalReceive ||
+		d.AppSwitch != 2*m.AppSwitch || d.NetStack != 2*m.NetStack {
+		t.Fatal("Scale(2) did not double costs")
+	}
+	if h := m.Scale(0.5); h.KthreadSwitch != m.KthreadSwitch/2 {
+		t.Fatalf("Scale(0.5) = %v", h.KthreadSwitch)
+	}
+	// Original unchanged.
+	if m.UserIPISend != Default().UserIPISend {
+		t.Fatal("Scale mutated the receiver")
+	}
+}
+
+// Property: scaling preserves every ordering the paper relies on.
+func TestQuickScalePreservesOrderings(t *testing.T) {
+	f := func(factorRaw uint8) bool {
+		factor := 0.25 + float64(factorRaw)/64 // 0.25 .. 4.2
+		m := Default().Scale(factor)
+		return m.UserTimerReceive < m.UserIPIReceive &&
+			m.UserIPIReceive < m.KernelIPIReceive &&
+			m.KernelIPIReceive < m.SignalReceive &&
+			m.UthreadSpawn < m.PthreadSpawn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

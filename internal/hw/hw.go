@@ -1,0 +1,355 @@
+// Package hw models the evaluation machine: a dual-socket multicore with
+// per-core local APIC timers and an IPI fabric, driven by the discrete-event
+// clock in simtime. It substitutes for the paper's Sapphire Rapids testbed
+// (2× 24-core Xeon Gold 5418Y @ 2.0 GHz): scheduling engines run *on top of*
+// this package exactly as the real systems run on top of the hardware.
+//
+// Execution model. A core serializes two kinds of occupancy:
+//
+//   - Exec(cost, fn): non-interruptible bookkeeping time — scheduler code,
+//     context switches, interrupt handler bodies. Calls chain: each Exec
+//     begins when the previous occupancy ends.
+//   - StartRun(d, onDone): an interruptible segment of application work.
+//     An interrupt arriving mid-segment lets the engine StopRun() and learn
+//     how much work was actually completed.
+//
+// Interrupts are queued per core and delivered when the core is not already
+// inside a handler; the handler owns the core until it calls EndIRQ.
+package hw
+
+import (
+	"fmt"
+
+	"skyloft/internal/cycles"
+	"skyloft/internal/simtime"
+)
+
+// IRQ is one delivered interrupt.
+type IRQ struct {
+	Vector uint8
+	From   int // sending core ID, or TimerSource for LAPIC timer expiry
+	Data   any // optional payload attached by the sender
+}
+
+// TimerSource is the IRQ.From value for local APIC timer interrupts.
+const TimerSource = -1
+
+// Config sizes the machine.
+type Config struct {
+	Cores          int
+	CoresPerSocket int
+	Cost           cycles.Model
+}
+
+// DefaultConfig mirrors the paper's server: 48 hyperthreads across two
+// 24-core sockets. Most experiments use 24 or fewer isolated cores.
+func DefaultConfig() Config {
+	return Config{Cores: 48, CoresPerSocket: 24, Cost: cycles.Default()}
+}
+
+// Machine is the simulated host.
+type Machine struct {
+	Clock *simtime.Clock
+	Cores []*Core
+	Cost  cycles.Model
+
+	coresPerSocket int
+	ipisSent       uint64
+}
+
+// NewMachine builds a machine per cfg with a fresh clock.
+func NewMachine(cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		panic("hw: machine needs at least one core")
+	}
+	if cfg.CoresPerSocket <= 0 {
+		cfg.CoresPerSocket = cfg.Cores
+	}
+	m := &Machine{
+		Clock:          simtime.NewClock(),
+		Cost:           cfg.Cost,
+		coresPerSocket: cfg.CoresPerSocket,
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		c := &Core{ID: i, m: m}
+		c.Timer = &LAPICTimer{core: c}
+		m.Cores = append(m.Cores, c)
+	}
+	return m
+}
+
+// Now reports the current virtual time.
+func (m *Machine) Now() simtime.Time { return m.Clock.Now() }
+
+// Socket reports which socket core id belongs to.
+func (m *Machine) Socket(id int) int { return id / m.coresPerSocket }
+
+// SameSocket reports whether two cores share a socket (IPI latency is higher
+// across sockets; paper Table 6's "cross NUMA nodes" row).
+func (m *Machine) SameSocket(a, b int) bool { return m.Socket(a) == m.Socket(b) }
+
+// IPIsSent reports the total number of inter-processor interrupts sent.
+func (m *Machine) IPIsSent() uint64 { return m.ipisSent }
+
+// SendIPI posts an interrupt from core `from` to core `to` after the given
+// wire delay. The *send-side* cost must be charged separately by the caller
+// (it occupies the sender, not the wire).
+func (m *Machine) SendIPI(from, to int, vec uint8, delay simtime.Duration, data any) {
+	if to < 0 || to >= len(m.Cores) {
+		panic(fmt.Sprintf("hw: IPI to invalid core %d", to))
+	}
+	m.ipisSent++
+	target := m.Cores[to]
+	m.Clock.After(delay, func() {
+		target.Interrupt(IRQ{Vector: vec, From: from, Data: data})
+	})
+}
+
+// Core is one simulated hardware thread.
+type Core struct {
+	ID    int
+	Timer *LAPICTimer
+
+	m         *Machine
+	busyUntil simtime.Time
+	run       *runState
+
+	handler    func(IRQ)
+	inIRQ      bool
+	pending    []IRQ
+	deliverEvt *simtime.Event
+
+	busyAccum simtime.Duration // total occupied time, for utilisation stats
+}
+
+type runState struct {
+	started  simtime.Time
+	duration simtime.Duration
+	done     *simtime.Event
+}
+
+// Machine reports the owning machine.
+func (c *Core) Machine() *Machine { return c.m }
+
+// SetIRQHandler installs the engine's interrupt handler. The handler runs
+// with further interrupts masked and must eventually call EndIRQ (possibly
+// from a later Exec continuation).
+func (c *Core) SetIRQHandler(h func(IRQ)) { c.handler = h }
+
+// BusyTime reports the cumulative occupied (non-idle) time on this core.
+func (c *Core) BusyTime() simtime.Duration { return c.busyAccum }
+
+// free reports the earliest instant the core can begin new occupancy.
+func (c *Core) free() simtime.Time {
+	now := c.m.Clock.Now()
+	if c.busyUntil > now {
+		return c.busyUntil
+	}
+	return now
+}
+
+// Exec occupies the core for cost nanoseconds of non-interruptible
+// bookkeeping starting when prior occupancy ends, then runs fn. fn may be
+// nil. Exec panics if an application segment is currently running: engines
+// must StopRun first.
+func (c *Core) Exec(cost simtime.Duration, fn func()) {
+	if c.run != nil {
+		panic(fmt.Sprintf("hw: core %d Exec while a run segment is active", c.ID))
+	}
+	if cost < 0 {
+		panic("hw: negative Exec cost")
+	}
+	start := c.free()
+	c.busyUntil = start + cost
+	c.busyAccum += cost
+	if fn == nil {
+		return
+	}
+	c.m.Clock.At(c.busyUntil, fn)
+}
+
+// StartRun begins an interruptible application work segment of the given
+// length, invoking onDone when it completes uninterrupted. Only one segment
+// may be active at a time.
+func (c *Core) StartRun(d simtime.Duration, onDone func()) {
+	if c.run != nil {
+		panic(fmt.Sprintf("hw: core %d StartRun while already running", c.ID))
+	}
+	if d < 0 {
+		panic("hw: negative run duration")
+	}
+	start := c.free()
+	rs := &runState{started: start, duration: d}
+	rs.done = c.m.Clock.At(start+d, func() {
+		c.run = nil
+		c.busyAccum += d
+		onDone()
+	})
+	c.run = rs
+	c.busyUntil = start + d
+}
+
+// Running reports whether an application segment is active.
+func (c *Core) Running() bool { return c.run != nil }
+
+// StopRun cancels the active segment and reports how much of its work had
+// completed by now. It panics if no segment is active.
+func (c *Core) StopRun() simtime.Duration {
+	rs := c.run
+	if rs == nil {
+		panic(fmt.Sprintf("hw: core %d StopRun with no active run", c.ID))
+	}
+	c.m.Clock.Cancel(rs.done)
+	c.run = nil
+	now := c.m.Clock.Now()
+	elapsed := now - rs.started
+	if elapsed < 0 {
+		elapsed = 0 // segment was queued behind busyUntil and never began
+	}
+	if elapsed > rs.duration {
+		elapsed = rs.duration
+	}
+	c.busyAccum += elapsed
+	// Occupancy ends where the segment's executed portion ends; for a
+	// never-started segment the pre-existing occupancy (up to rs.started)
+	// still stands.
+	c.busyUntil = rs.started + elapsed
+	return elapsed
+}
+
+// Interrupt queues irq for delivery on this core. Interrupts with the same
+// vector coalesce while pending, matching local-APIC IRR semantics.
+func (c *Core) Interrupt(irq IRQ) {
+	for i := range c.pending {
+		if c.pending[i].Vector == irq.Vector {
+			return // already pending; edge coalesced
+		}
+	}
+	c.pending = append(c.pending, irq)
+	c.scheduleDelivery()
+}
+
+// PendingIRQs reports the number of queued, undelivered interrupts.
+func (c *Core) PendingIRQs() int { return len(c.pending) }
+
+func (c *Core) scheduleDelivery() {
+	if c.inIRQ || c.deliverEvt != nil || len(c.pending) == 0 || c.handler == nil {
+		return
+	}
+	// Interrupts preempt run segments immediately but wait out
+	// non-interruptible Exec occupancy (interrupts are recognised at the
+	// next instruction boundary; Exec models masked critical sections).
+	at := c.m.Clock.Now()
+	if c.run == nil && c.busyUntil > at {
+		at = c.busyUntil
+	}
+	c.deliverEvt = c.m.Clock.At(at, c.deliverOne)
+}
+
+func (c *Core) deliverOne() {
+	c.deliverEvt = nil
+	if c.inIRQ || len(c.pending) == 0 {
+		return
+	}
+	irq := c.pending[0]
+	c.pending = c.pending[1:]
+	c.inIRQ = true
+	c.handler(irq)
+}
+
+// InIRQ reports whether the core is inside an interrupt handler.
+func (c *Core) InIRQ() bool { return c.inIRQ }
+
+// EndIRQ marks the current handler complete (the UIRET/IRET point) and
+// allows queued interrupts to be delivered once current occupancy drains.
+func (c *Core) EndIRQ() {
+	if !c.inIRQ {
+		panic(fmt.Sprintf("hw: core %d EndIRQ outside handler", c.ID))
+	}
+	c.inIRQ = false
+	c.scheduleDelivery()
+}
+
+// LAPICTimer is the per-core local APIC timer, supporting periodic mode
+// (classic tick) and one-shot mode (TSC-deadline style, the basis of the
+// paper's §6 "kernel-bypass timer reset" / User-Timer Events discussion).
+type LAPICTimer struct {
+	core    *Core
+	period  simtime.Duration
+	vector  uint8
+	enabled bool
+	oneshot bool
+	next    *simtime.Event
+	fires   uint64
+}
+
+// Start arms the timer with the given period and interrupt vector.
+func (t *LAPICTimer) Start(period simtime.Duration, vector uint8) {
+	if period <= 0 {
+		panic("hw: timer period must be positive")
+	}
+	t.Stop()
+	t.period = period
+	t.vector = vector
+	t.enabled = true
+	t.arm()
+}
+
+// StartHz arms the timer at hz ticks per second.
+func (t *LAPICTimer) StartHz(hz int64, vector uint8) {
+	if hz <= 0 {
+		panic("hw: timer frequency must be positive")
+	}
+	t.Start(simtime.Second/simtime.Duration(hz), vector)
+}
+
+// ArmOneShot programs a single expiry after d (cancelling any pending
+// deadline or periodic programme) — the TSC-deadline register write.
+func (t *LAPICTimer) ArmOneShot(d simtime.Duration, vector uint8) {
+	if d <= 0 {
+		panic("hw: one-shot deadline must be positive")
+	}
+	t.Stop()
+	t.vector = vector
+	t.enabled = true
+	t.oneshot = true
+	t.next = t.core.m.Clock.After(d, func() {
+		if !t.enabled {
+			return
+		}
+		t.enabled = false
+		t.next = nil
+		t.fires++
+		t.core.Interrupt(IRQ{Vector: t.vector, From: TimerSource})
+	})
+}
+
+// Stop disarms the timer.
+func (t *LAPICTimer) Stop() {
+	t.enabled = false
+	t.oneshot = false
+	if t.next != nil {
+		t.core.m.Clock.Cancel(t.next)
+		t.next = nil
+	}
+}
+
+// Enabled reports whether the timer is armed.
+func (t *LAPICTimer) Enabled() bool { return t.enabled }
+
+// Period reports the configured period (0 if never armed).
+func (t *LAPICTimer) Period() simtime.Duration { return t.period }
+
+// Fires reports how many timer interrupts have fired.
+func (t *LAPICTimer) Fires() uint64 { return t.fires }
+
+func (t *LAPICTimer) arm() {
+	t.next = t.core.m.Clock.After(t.period, func() {
+		if !t.enabled {
+			return
+		}
+		t.fires++
+		t.core.Interrupt(IRQ{Vector: t.vector, From: TimerSource})
+		t.arm()
+	})
+}

@@ -1,0 +1,340 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"skyloft/internal/simtime"
+)
+
+func testMachine(cores int) *Machine {
+	cfg := DefaultConfig()
+	cfg.Cores = cores
+	cfg.CoresPerSocket = (cores + 1) / 2
+	return NewMachine(cfg)
+}
+
+func TestExecSerializes(t *testing.T) {
+	m := testMachine(2)
+	c := m.Cores[0]
+	var order []simtime.Time
+	c.Exec(100, func() { order = append(order, m.Now()) })
+	c.Exec(50, func() { order = append(order, m.Now()) })
+	m.Clock.Run(simtime.Infinity)
+	if len(order) != 2 || order[0] != 100 || order[1] != 150 {
+		t.Fatalf("Exec completions at %v, want [100 150]", order)
+	}
+	if c.BusyTime() != 150 {
+		t.Fatalf("busy time %v, want 150", c.BusyTime())
+	}
+}
+
+func TestRunCompletes(t *testing.T) {
+	m := testMachine(1)
+	c := m.Cores[0]
+	done := simtime.Time(-1)
+	c.StartRun(1000, func() { done = m.Now() })
+	m.Clock.Run(simtime.Infinity)
+	if done != 1000 {
+		t.Fatalf("run completed at %v, want 1000", done)
+	}
+	if c.Running() {
+		t.Fatal("core still running after completion")
+	}
+}
+
+func TestStopRunPartialProgress(t *testing.T) {
+	m := testMachine(1)
+	c := m.Cores[0]
+	completed := false
+	c.StartRun(1000, func() { completed = true })
+	var elapsed simtime.Duration
+	m.Clock.At(400, func() { elapsed = c.StopRun() })
+	m.Clock.Run(simtime.Infinity)
+	if completed {
+		t.Fatal("stopped run still completed")
+	}
+	if elapsed != 400 {
+		t.Fatalf("elapsed = %v, want 400", elapsed)
+	}
+}
+
+func TestStopRunBeforeStartYieldsZero(t *testing.T) {
+	m := testMachine(1)
+	c := m.Cores[0]
+	c.Exec(500, nil) // core busy until t=500
+	c.StartRun(1000, func() {})
+	// Stop at t=200: the segment was queued behind Exec and never began.
+	var elapsed simtime.Duration = -1
+	m.Clock.At(200, func() { elapsed = c.StopRun() })
+	m.Clock.Run(simtime.Infinity)
+	if elapsed != 0 {
+		t.Fatalf("elapsed = %v, want 0 for never-started segment", elapsed)
+	}
+}
+
+func TestInterruptPreemptsRun(t *testing.T) {
+	m := testMachine(2)
+	c := m.Cores[0]
+	var handledAt simtime.Time = -1
+	var progress simtime.Duration
+	c.SetIRQHandler(func(irq IRQ) {
+		handledAt = m.Now()
+		progress = c.StopRun()
+		c.EndIRQ()
+	})
+	c.StartRun(10000, func() { t.Error("run should have been preempted") })
+	m.SendIPI(1, 0, 0xEC, 600, nil) // arrives at t=600
+	m.Clock.Run(simtime.Infinity)
+	if handledAt != 600 {
+		t.Fatalf("IRQ handled at %v, want 600", handledAt)
+	}
+	if progress != 600 {
+		t.Fatalf("preempted progress = %v, want 600", progress)
+	}
+}
+
+func TestInterruptWaitsForExec(t *testing.T) {
+	m := testMachine(2)
+	c := m.Cores[0]
+	var handledAt simtime.Time = -1
+	c.SetIRQHandler(func(irq IRQ) {
+		handledAt = m.Now()
+		c.EndIRQ()
+	})
+	c.Exec(1000, nil) // masked critical section until t=1000
+	m.SendIPI(1, 0, 0xEC, 100, nil)
+	m.Clock.Run(simtime.Infinity)
+	if handledAt != 1000 {
+		t.Fatalf("IRQ during Exec handled at %v, want 1000", handledAt)
+	}
+}
+
+func TestInterruptQueuedDuringHandler(t *testing.T) {
+	m := testMachine(3)
+	c := m.Cores[0]
+	var handled []uint8
+	c.SetIRQHandler(func(irq IRQ) {
+		handled = append(handled, irq.Vector)
+		// Handler occupies the core for 500ns then returns.
+		c.Exec(500, func() { c.EndIRQ() })
+	})
+	m.SendIPI(1, 0, 1, 100, nil)
+	m.SendIPI(2, 0, 2, 150, nil) // arrives while handler for vec 1 active
+	m.Clock.Run(simtime.Infinity)
+	if len(handled) != 2 || handled[0] != 1 || handled[1] != 2 {
+		t.Fatalf("handled vectors %v, want [1 2]", handled)
+	}
+}
+
+func TestInterruptCoalescesByVector(t *testing.T) {
+	m := testMachine(2)
+	c := m.Cores[0]
+	count := 0
+	c.SetIRQHandler(func(irq IRQ) {
+		count++
+		c.Exec(1000, func() { c.EndIRQ() })
+	})
+	// Three same-vector IPIs land while the first is being handled.
+	m.SendIPI(1, 0, 5, 10, nil)
+	m.SendIPI(1, 0, 5, 20, nil)
+	m.SendIPI(1, 0, 5, 30, nil)
+	m.Clock.Run(simtime.Infinity)
+	if count != 2 { // first delivery + one coalesced pending
+		t.Fatalf("handler ran %d times, want 2 (coalesced)", count)
+	}
+}
+
+func TestLAPICTimerPeriodic(t *testing.T) {
+	m := testMachine(1)
+	c := m.Cores[0]
+	var ticks []simtime.Time
+	c.SetIRQHandler(func(irq IRQ) {
+		if irq.From != TimerSource {
+			t.Errorf("timer IRQ From = %d, want TimerSource", irq.From)
+		}
+		ticks = append(ticks, m.Now())
+		c.EndIRQ()
+	})
+	c.Timer.Start(10*simtime.Microsecond, 0xEF)
+	m.Clock.Run(35 * simtime.Microsecond)
+	c.Timer.Stop()
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3: %v", len(ticks), ticks)
+	}
+	for i, at := range ticks {
+		if want := simtime.Time(10*(i+1)) * simtime.Microsecond; at != want {
+			t.Errorf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+	if c.Timer.Fires() != 3 {
+		t.Fatalf("Fires() = %d", c.Timer.Fires())
+	}
+}
+
+func TestTimerStartHz(t *testing.T) {
+	m := testMachine(1)
+	c := m.Cores[0]
+	c.Timer.StartHz(100_000, 0xEF)
+	if c.Timer.Period() != 10*simtime.Microsecond {
+		t.Fatalf("period = %v, want 10us", c.Timer.Period())
+	}
+}
+
+func TestTimerStopCancelsPending(t *testing.T) {
+	m := testMachine(1)
+	c := m.Cores[0]
+	fired := 0
+	c.SetIRQHandler(func(irq IRQ) { fired++; c.EndIRQ() })
+	c.Timer.Start(10, 0xEF)
+	m.Clock.At(35, func() { c.Timer.Stop() })
+	m.Clock.Run(simtime.Infinity)
+	if fired != 3 {
+		t.Fatalf("fired %d, want 3 then stop", fired)
+	}
+}
+
+func TestSocketTopology(t *testing.T) {
+	m := NewMachine(Config{Cores: 48, CoresPerSocket: 24})
+	if !m.SameSocket(0, 23) || m.SameSocket(23, 24) || !m.SameSocket(24, 47) {
+		t.Fatal("socket topology wrong")
+	}
+	if m.Socket(30) != 1 {
+		t.Fatalf("Socket(30) = %d", m.Socket(30))
+	}
+}
+
+func TestIPIDataPayload(t *testing.T) {
+	m := testMachine(2)
+	c := m.Cores[1]
+	var got any
+	c.SetIRQHandler(func(irq IRQ) {
+		got = irq.Data
+		c.EndIRQ()
+	})
+	m.SendIPI(0, 1, 0xEC, 5, "preempt")
+	m.Clock.Run(simtime.Infinity)
+	if got != "preempt" {
+		t.Fatalf("payload = %v", got)
+	}
+	if m.IPIsSent() != 1 {
+		t.Fatalf("IPIsSent = %d", m.IPIsSent())
+	}
+}
+
+func TestExecWhileRunningPanics(t *testing.T) {
+	m := testMachine(1)
+	c := m.Cores[0]
+	c.StartRun(100, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("Exec during active run did not panic")
+		}
+	}()
+	c.Exec(10, nil)
+}
+
+func TestBusyTimeAccountsPartialRuns(t *testing.T) {
+	m := testMachine(1)
+	c := m.Cores[0]
+	c.StartRun(1000, func() {})
+	m.Clock.At(300, func() { c.StopRun() })
+	m.Clock.Run(simtime.Infinity)
+	if c.BusyTime() != 300 {
+		t.Fatalf("busy = %v, want 300", c.BusyTime())
+	}
+}
+
+func TestOneShotTimerFiresOnce(t *testing.T) {
+	m := testMachine(1)
+	c := m.Cores[0]
+	var fires []simtime.Time
+	c.SetIRQHandler(func(irq IRQ) {
+		fires = append(fires, m.Now())
+		c.EndIRQ()
+	})
+	c.Timer.ArmOneShot(25*simtime.Microsecond, 0xEF)
+	m.Clock.Run(200 * simtime.Microsecond)
+	if len(fires) != 1 || fires[0] != 25*simtime.Microsecond {
+		t.Fatalf("one-shot fires = %v, want one at 25us", fires)
+	}
+	if c.Timer.Enabled() {
+		t.Fatal("one-shot timer still armed after expiry")
+	}
+}
+
+func TestOneShotRearmOverwritesDeadline(t *testing.T) {
+	m := testMachine(1)
+	c := m.Cores[0]
+	var fires []simtime.Time
+	c.SetIRQHandler(func(irq IRQ) {
+		fires = append(fires, m.Now())
+		c.EndIRQ()
+	})
+	c.Timer.ArmOneShot(100*simtime.Microsecond, 0xEF)
+	m.Clock.At(10*simtime.Microsecond, func() {
+		c.Timer.ArmOneShot(5*simtime.Microsecond, 0xEF) // bring it forward
+	})
+	m.Clock.Run(simtime.Millisecond)
+	if len(fires) != 1 || fires[0] != 15*simtime.Microsecond {
+		t.Fatalf("rearmed one-shot fires = %v, want one at 15us", fires)
+	}
+}
+
+func TestOneShotStopCancels(t *testing.T) {
+	m := testMachine(1)
+	c := m.Cores[0]
+	fired := false
+	c.SetIRQHandler(func(irq IRQ) { fired = true; c.EndIRQ() })
+	c.Timer.ArmOneShot(50*simtime.Microsecond, 0xEF)
+	m.Clock.At(10*simtime.Microsecond, func() { c.Timer.Stop() })
+	m.Clock.Run(simtime.Millisecond)
+	if fired {
+		t.Fatal("stopped one-shot still fired")
+	}
+}
+
+// Property: any sequence of Exec/StartRun/StopRun keeps core occupancy
+// consistent — busy time never exceeds elapsed virtual time and never
+// decreases.
+func TestQuickOccupancyBounded(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := testMachine(1)
+		c := m.Cores[0]
+		running := false
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				if !running {
+					// A callback makes the occupancy event-visible so the
+					// final Run() can advance past it.
+					c.Exec(simtime.Duration(op%50)+1, func() {})
+				}
+			case 1:
+				if !running {
+					c.StartRun(simtime.Duration(op%100)+1, func() {})
+					running = true
+				}
+			case 2:
+				m.Clock.Run(m.Now() + simtime.Duration(op%200))
+				if c.Running() {
+					c.StopRun()
+				}
+				running = false
+			}
+			if running {
+				// StartRun completion may have fired during Run.
+				running = c.Running()
+			}
+		}
+		m.Clock.Run(m.Now() + simtime.Second)
+		return c.BusyTime() <= simtime.Duration(m.Now()) && c.BusyTime() >= 0
+	}
+	if err := quickCheck(f, 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func quickCheck(f func([]uint8) bool, n int) error {
+	return quick.Check(f, &quick.Config{MaxCount: n})
+}

@@ -1,0 +1,216 @@
+// Package kmod simulates the Skyloft kernel module (§3.3, §4.2): a small
+// privileged helper mounted at /dev/skyloft that the user-space scheduler
+// reaches via ioctl(). It owns the operations user space cannot perform —
+// atomically parking/waking kernel threads so that the Single Binding Rule
+// holds, and configuring user-space timer interrupts — and charges each the
+// paper's measured costs (inter-application switch: 1,905 ns; ioctl round
+// trip for configuration calls).
+package kmod
+
+import (
+	"fmt"
+
+	"skyloft/internal/cycles"
+	"skyloft/internal/hw"
+	"skyloft/internal/simtime"
+	"skyloft/internal/uintrsim"
+)
+
+// KThread is one application's kernel thread bound to one isolated core.
+// Skyloft creates, per application, one kernel thread per isolated core; at
+// most one of a core's kernel threads is active at any instant.
+type KThread struct {
+	TID    int
+	App    int
+	Core   int
+	Active bool
+	parked bool // suspended via ParkOnCPU / SwitchTo
+}
+
+func (k *KThread) String() string {
+	return fmt.Sprintf("kthread{tid=%d app=%d core=%d active=%v}", k.TID, k.App, k.Core, k.Active)
+}
+
+// Module is the simulated kernel module instance.
+type Module struct {
+	m       *hw.Machine
+	cost    cycles.Model
+	nextTID int
+	cores   map[int][]*KThread // isolated core -> its kernel threads
+	byTID   map[int]*KThread
+
+	switches uint64 // inter-application switches performed
+}
+
+// New creates the module for machine m.
+func New(m *hw.Machine, cost cycles.Model) *Module {
+	return &Module{
+		m:       m,
+		cost:    cost,
+		nextTID: 1000, // arbitrary TID base, like real gettid() values
+		cores:   make(map[int][]*KThread),
+		byTID:   make(map[int]*KThread),
+	}
+}
+
+// Switches reports the number of inter-application switches performed.
+func (mod *Module) Switches() uint64 { return mod.switches }
+
+// CreateBound registers a new kernel thread for app bound to core and
+// immediately active — the daemon's initial threads (§4.1), which bind with
+// plain sched_setaffinity. It panics if the Single Binding Rule would be
+// violated.
+func (mod *Module) CreateBound(app, core int) *KThread {
+	t := mod.create(app, core)
+	t.Active = true
+	mod.checkBindingRule(core)
+	return t
+}
+
+// ParkOnCPU registers a new kernel thread for app, binds it to core and
+// suspends it before it ever runs (skyloft_park_on_cpu). Subsequent
+// applications join this way so the rule is never violated.
+func (mod *Module) ParkOnCPU(app, core int) *KThread {
+	t := mod.create(app, core)
+	t.Active = false
+	t.parked = true
+	return t
+}
+
+func (mod *Module) create(app, core int) *KThread {
+	mod.nextTID++
+	t := &KThread{TID: mod.nextTID, App: app, Core: core}
+	mod.cores[core] = append(mod.cores[core], t)
+	mod.byTID[t.TID] = t
+	return t
+}
+
+// SwitchTo suspends the core's currently active kernel thread and wakes the
+// target (skyloft_switch_to): the application-switch path of Figure 4. Both
+// transitions happen atomically in the kernel. It returns the time the
+// operation occupies the core (the measured 1,905 ns inter-application
+// switch). The caller charges it.
+func (mod *Module) SwitchTo(targetTID int) (simtime.Duration, error) {
+	target, ok := mod.byTID[targetTID]
+	if !ok {
+		return 0, fmt.Errorf("kmod: no kernel thread with tid %d", targetTID)
+	}
+	var curr *KThread
+	for _, t := range mod.cores[target.Core] {
+		if t.Active {
+			curr = t
+			break
+		}
+	}
+	if curr == target {
+		return 0, nil // already active: nothing to do
+	}
+	if curr != nil {
+		curr.Active = false
+		curr.parked = true
+	}
+	target.Active = true
+	target.parked = false
+	mod.switches++
+	mod.checkBindingRule(target.Core)
+	return mod.cost.AppSwitch, nil
+}
+
+// Wakeup makes the given kernel thread active (skyloft_wakeup), used when a
+// core has no active thread at all — e.g. reassigning an idle core to a
+// different application. It fails if another thread is active on the core.
+func (mod *Module) Wakeup(targetTID int) (simtime.Duration, error) {
+	target, ok := mod.byTID[targetTID]
+	if !ok {
+		return 0, fmt.Errorf("kmod: no kernel thread with tid %d", targetTID)
+	}
+	if target.Active {
+		return 0, nil
+	}
+	for _, t := range mod.cores[target.Core] {
+		if t.Active {
+			return 0, fmt.Errorf("kmod: core %d already has active kthread tid %d (Single Binding Rule)",
+				target.Core, t.TID)
+		}
+	}
+	target.Active = true
+	target.parked = false
+	mod.checkBindingRule(target.Core)
+	return mod.cost.KthreadSwitchWake, nil
+}
+
+// Exit terminates a kernel thread: an active thread is first rebound off
+// its isolated core (§3.3 application termination); parked threads get a
+// termination signal. The thread disappears from the core's binding set.
+func (mod *Module) Exit(tid int) error {
+	t, ok := mod.byTID[tid]
+	if !ok {
+		return fmt.Errorf("kmod: no kernel thread with tid %d", tid)
+	}
+	list := mod.cores[t.Core]
+	for i, other := range list {
+		if other == t {
+			mod.cores[t.Core] = append(list[:i:i], list[i+1:]...)
+			break
+		}
+	}
+	delete(mod.byTID, tid)
+	return nil
+}
+
+// ActiveOn reports the active kernel thread on core, or nil.
+func (mod *Module) ActiveOn(core int) *KThread {
+	for _, t := range mod.cores[core] {
+		if t.Active {
+			return t
+		}
+	}
+	return nil
+}
+
+// ThreadsOn reports all kernel threads bound to core.
+func (mod *Module) ThreadsOn(core int) []*KThread {
+	return append([]*KThread(nil), mod.cores[core]...)
+}
+
+// Lookup finds a kernel thread by TID.
+func (mod *Module) Lookup(tid int) *KThread { return mod.byTID[tid] }
+
+// FindFor reports app's kernel thread on core, or nil.
+func (mod *Module) FindFor(app, core int) *KThread {
+	for _, t := range mod.cores[core] {
+		if t.App == app {
+			return t
+		}
+	}
+	return nil
+}
+
+// checkBindingRule panics if two active kernel threads share a core — the
+// invariant the whole design rests on, so violating it is a simulator bug.
+func (mod *Module) checkBindingRule(core int) {
+	n := 0
+	for _, t := range mod.cores[core] {
+		if t.Active {
+			n++
+		}
+	}
+	if n > 1 {
+		panic(fmt.Sprintf("kmod: Single Binding Rule violated on core %d (%d active)", core, n))
+	}
+}
+
+// TimerEnable delegates the core's LAPIC timer to user space via the §3.2
+// recipe (skyloft_timer_enable + skyloft_timer_set_hz). The returned
+// duration is the ioctl cost; the caller charges it to the calling core.
+func (mod *Module) TimerEnable(r *uintrsim.Receiver, s *uintrsim.Sender, hz int64) (*uintrsim.TimerDelegation, simtime.Duration) {
+	d := uintrsim.DelegateTimer(r, s, hz)
+	return d, mod.cost.Syscall
+}
+
+// TimerSetHz reconfigures a delegated timer's frequency and returns the
+// ioctl cost.
+func (mod *Module) TimerSetHz(d *uintrsim.TimerDelegation, hz int64) simtime.Duration {
+	d.SetHz(hz)
+	return mod.cost.Syscall
+}

@@ -1,0 +1,147 @@
+package kmod
+
+import (
+	"testing"
+
+	"skyloft/internal/cycles"
+	"skyloft/internal/hw"
+	"skyloft/internal/simtime"
+	"skyloft/internal/uintrsim"
+)
+
+func newModule() *Module {
+	cfg := hw.DefaultConfig()
+	cfg.Cores = 4
+	cfg.CoresPerSocket = 2
+	return New(hw.NewMachine(cfg), cycles.Default())
+}
+
+func TestBindingRuleAcrossApps(t *testing.T) {
+	mod := newModule()
+	a0 := mod.CreateBound(0, 0) // daemon app active on core 0
+	a1 := mod.ParkOnCPU(1, 0)   // second app parks
+	if !a0.Active || a1.Active {
+		t.Fatal("initial active states wrong")
+	}
+	if got := mod.ActiveOn(0); got != a0 {
+		t.Fatalf("ActiveOn(0) = %v", got)
+	}
+	cost, err := mod.SwitchTo(a1.TID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != cycles.Default().AppSwitch {
+		t.Fatalf("switch cost = %v, want %v", cost, cycles.Default().AppSwitch)
+	}
+	if a0.Active || !a1.Active {
+		t.Fatal("SwitchTo did not flip active states")
+	}
+	if mod.Switches() != 1 {
+		t.Fatalf("Switches() = %d", mod.Switches())
+	}
+}
+
+func TestSwitchToSelfIsFree(t *testing.T) {
+	mod := newModule()
+	a := mod.CreateBound(0, 1)
+	cost, err := mod.SwitchTo(a.TID)
+	if err != nil || cost != 0 {
+		t.Fatalf("self-switch cost=%v err=%v", cost, err)
+	}
+}
+
+func TestWakeupRefusesSecondActive(t *testing.T) {
+	mod := newModule()
+	mod.CreateBound(0, 2)
+	b := mod.ParkOnCPU(1, 2)
+	if _, err := mod.Wakeup(b.TID); err == nil {
+		t.Fatal("Wakeup violated the Single Binding Rule without error")
+	}
+}
+
+func TestWakeupIdleCore(t *testing.T) {
+	mod := newModule()
+	a := mod.CreateBound(0, 3)
+	b := mod.ParkOnCPU(1, 3)
+	if _, err := mod.SwitchTo(b.TID); err != nil {
+		t.Fatal(err)
+	}
+	// Park b too (app blocked): core has no active thread.
+	b.Active = false
+	b.parked = true
+	cost, err := mod.Wakeup(a.TID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != cycles.Default().KthreadSwitchWake {
+		t.Fatalf("wake cost = %v", cost)
+	}
+	if mod.ActiveOn(3) != a {
+		t.Fatal("app 0 not active after Wakeup")
+	}
+}
+
+func TestExitRemovesThread(t *testing.T) {
+	mod := newModule()
+	a := mod.CreateBound(0, 0)
+	if err := mod.Exit(a.TID); err != nil {
+		t.Fatal(err)
+	}
+	if mod.Lookup(a.TID) != nil || len(mod.ThreadsOn(0)) != 0 {
+		t.Fatal("Exit left the thread registered")
+	}
+	if err := mod.Exit(a.TID); err == nil {
+		t.Fatal("double Exit did not error")
+	}
+}
+
+func TestFindFor(t *testing.T) {
+	mod := newModule()
+	mod.CreateBound(0, 1)
+	b := mod.ParkOnCPU(1, 1)
+	if got := mod.FindFor(1, 1); got != b {
+		t.Fatalf("FindFor(1,1) = %v", got)
+	}
+	if mod.FindFor(2, 1) != nil {
+		t.Fatal("FindFor found a nonexistent app")
+	}
+}
+
+func TestSwitchToUnknownTID(t *testing.T) {
+	mod := newModule()
+	if _, err := mod.SwitchTo(424242); err == nil {
+		t.Fatal("SwitchTo unknown tid did not error")
+	}
+	if _, err := mod.Wakeup(424242); err == nil {
+		t.Fatal("Wakeup unknown tid did not error")
+	}
+}
+
+func TestTimerEnableDelegates(t *testing.T) {
+	cfg := hw.DefaultConfig()
+	cfg.Cores = 1
+	m := hw.NewMachine(cfg)
+	cost := cycles.Default()
+	mod := New(m, cost)
+	recv := uintrsim.NewReceiver(m.Cores[0], cost)
+	send := uintrsim.NewSender(m.Cores[0], cost)
+	fired := 0
+	var deleg *uintrsim.TimerDelegation
+	recv.Register(0xEF, func(uint8, simtime.Duration) {
+		fired++
+		recv.Core().Exec(deleg.Rearm(), func() { recv.UIRet() })
+	})
+	var ioctlCost simtime.Duration
+	deleg, ioctlCost = mod.TimerEnable(recv, send, 1_000_000) // 1 MHz
+	if ioctlCost != cost.Syscall {
+		t.Fatalf("ioctl cost = %v", ioctlCost)
+	}
+	m.Clock.Run(10 * simtime.Microsecond)
+	deleg.Stop()
+	if fired < 9 {
+		t.Fatalf("only %d delegated ticks in 10us at 1MHz", fired)
+	}
+	if c := mod.TimerSetHz(deleg, 100_000); c != cost.Syscall {
+		t.Fatalf("TimerSetHz cost = %v", c)
+	}
+}

@@ -1,0 +1,132 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+
+	"skyloft/internal/rng"
+	"skyloft/internal/simtime"
+)
+
+func classes() []Class {
+	return []Class{
+		{Name: "short", Weight: 0.995, Service: rng.Fixed{Value: 4 * simtime.Microsecond}},
+		{Name: "long", Weight: 0.005, Service: rng.Fixed{Value: 10 * simtime.Millisecond}},
+	}
+}
+
+func TestMeanService(t *testing.T) {
+	got := MeanService(classes())
+	want := simtime.Duration(0.995*float64(4*simtime.Microsecond) + 0.005*float64(10*simtime.Millisecond))
+	if math.Abs(float64(got-want)) > 1 {
+		t.Fatalf("MeanService = %v, want %v", got, want)
+	}
+}
+
+func TestGenRateAndMix(t *testing.T) {
+	clock := simtime.NewClock()
+	g := New(100_000, classes(), 16, 1) // 100k rps
+	var n, long int
+	var last simtime.Time
+	g.Run(clock, 50_000, func(r Request) {
+		n++
+		if r.Class == 1 {
+			long++
+		}
+		if r.At < last {
+			t.Fatal("arrivals not monotone")
+		}
+		last = r.At
+	})
+	clock.Run(simtime.Infinity)
+	if n != 50_000 {
+		t.Fatalf("generated %d, want 50000", n)
+	}
+	rate := float64(n) / (float64(last) / float64(simtime.Second))
+	if math.Abs(rate-100_000)/100_000 > 0.05 {
+		t.Fatalf("observed rate %.0f, want ~100k", rate)
+	}
+	frac := float64(long) / float64(n)
+	if frac < 0.003 || frac > 0.008 {
+		t.Fatalf("long fraction %.4f, want ~0.005", frac)
+	}
+}
+
+func TestGenStop(t *testing.T) {
+	clock := simtime.NewClock()
+	g := New(1_000_000, classes(), 1, 1)
+	n := 0
+	g.Run(clock, 0, func(Request) {
+		n++
+		if n == 100 {
+			g.Stop()
+		}
+	})
+	clock.Run(simtime.Infinity)
+	if n != 100 {
+		t.Fatalf("Stop did not halt generation: %d", n)
+	}
+}
+
+func TestGenFlowsBounded(t *testing.T) {
+	clock := simtime.NewClock()
+	g := New(100_000, classes(), 8, 2)
+	seen := map[uint64]bool{}
+	g.Run(clock, 5000, func(r Request) { seen[r.Flow] = true })
+	clock.Run(simtime.Infinity)
+	if len(seen) != 8 {
+		t.Fatalf("flows used = %d, want 8", len(seen))
+	}
+}
+
+func TestRecorderWarmupAndThroughput(t *testing.T) {
+	rec := NewRecorder(1000)
+	rec.Record(500, 400, 50, 0) // before warmup: ignored
+	if rec.Done != 0 {
+		t.Fatal("warmup record counted")
+	}
+	for i := simtime.Time(0); i < 100; i++ {
+		at := 1000 + i*1000
+		rec.Record(at, at-100, 50, 0)
+	}
+	if rec.Done != 100 {
+		t.Fatalf("Done = %d", rec.Done)
+	}
+	// 99 completions over 99 µs window → 1M/s.
+	if tp := rec.Throughput(); math.Abs(tp-1e6)/1e6 > 0.01 {
+		t.Fatalf("Throughput = %v, want ~1e6", tp)
+	}
+	if rec.Lat.P50() != 100 {
+		t.Fatalf("latency p50 = %v, want 100", rec.Lat.P50())
+	}
+	if rec.Slow.Quantile(0.5) < 1.9 || rec.Slow.Quantile(0.5) > 2.1 {
+		t.Fatalf("slowdown p50 = %v, want ~2 (100ns sojourn / 50ns svc)", rec.Slow.Quantile(0.5))
+	}
+}
+
+func TestRecorderByClass(t *testing.T) {
+	rec := NewRecorder(0)
+	rec.Record(100, 0, 10, 0)
+	rec.Record(200, 0, 10, 1)
+	rec.Record(300, 0, 10, 1)
+	if rec.ByClass[0].Count() != 1 || rec.ByClass[1].Count() != 2 {
+		t.Fatal("per-class histograms wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, classes(), 1, 1) },
+		func() { New(100, nil, 1, 1) },
+		func() { New(100, []Class{{Weight: -1, Service: rng.Fixed{Value: 1}}}, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid config did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,258 @@
+package netsim
+
+// Byte-level protocol encoding for the lite user-space network stack
+// (paper §3.5: "A lightweight user-space TCP and UDP stack is integrated
+// to parse network packets"). Real Ethernet II / IPv4 / UDP / TCP headers
+// are built and parsed, with real checksums — the stack processes genuine
+// frames, not abstractions.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MAC is an Ethernet address.
+type MAC [6]byte
+
+// IP is an IPv4 address.
+type IP [4]byte
+
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// Protocol numbers and header sizes.
+const (
+	EtherTypeIPv4 = 0x0800
+	ProtoUDP      = 17
+	ProtoTCP      = 6
+
+	EthHeaderLen  = 14
+	IPv4HeaderLen = 20
+	UDPHeaderLen  = 8
+	TCPHeaderLen  = 20
+
+	// MTU bounds a frame's IP payload.
+	MTU = 1500
+)
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPPsh = 1 << 3
+	TCPAck = 1 << 4
+)
+
+// EthHeader is an Ethernet II header.
+type EthHeader struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+// IPv4Header is the fixed 20-byte IPv4 header (no options).
+type IPv4Header struct {
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src, Dst IP
+}
+
+// UDPHeader is the 8-byte UDP header.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// TCPHeader is the fixed 20-byte TCP header (no options).
+type TCPHeader struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+}
+
+// BuildEth prepends an Ethernet header to payload.
+func BuildEth(h EthHeader, payload []byte) []byte {
+	out := make([]byte, EthHeaderLen+len(payload))
+	copy(out[0:6], h.Dst[:])
+	copy(out[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(out[12:14], h.EtherType)
+	copy(out[EthHeaderLen:], payload)
+	return out
+}
+
+// ParseEth splits an Ethernet frame.
+func ParseEth(frame []byte) (EthHeader, []byte, error) {
+	if len(frame) < EthHeaderLen {
+		return EthHeader{}, nil, fmt.Errorf("netsim: ethernet frame too short (%d)", len(frame))
+	}
+	var h EthHeader
+	copy(h.Dst[:], frame[0:6])
+	copy(h.Src[:], frame[6:12])
+	h.EtherType = binary.BigEndian.Uint16(frame[12:14])
+	return h, frame[EthHeaderLen:], nil
+}
+
+// ipChecksum is the Internet checksum over data.
+func ipChecksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// BuildIPv4 prepends an IPv4 header (computing TotalLen and Checksum) to
+// payload.
+func BuildIPv4(h IPv4Header, payload []byte) []byte {
+	out := make([]byte, IPv4HeaderLen+len(payload))
+	out[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(out[2:4], uint16(IPv4HeaderLen+len(payload)))
+	binary.BigEndian.PutUint16(out[4:6], h.ID)
+	ttl := h.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	out[8] = ttl
+	out[9] = h.Protocol
+	copy(out[12:16], h.Src[:])
+	copy(out[16:20], h.Dst[:])
+	binary.BigEndian.PutUint16(out[10:12], ipChecksum(out[:IPv4HeaderLen]))
+	copy(out[IPv4HeaderLen:], payload)
+	return out
+}
+
+// ParseIPv4 validates and splits an IPv4 packet.
+func ParseIPv4(pkt []byte) (IPv4Header, []byte, error) {
+	if len(pkt) < IPv4HeaderLen {
+		return IPv4Header{}, nil, fmt.Errorf("netsim: IPv4 packet too short (%d)", len(pkt))
+	}
+	if pkt[0]>>4 != 4 {
+		return IPv4Header{}, nil, fmt.Errorf("netsim: not IPv4 (version %d)", pkt[0]>>4)
+	}
+	if ipChecksum(pkt[:IPv4HeaderLen]) != 0 {
+		return IPv4Header{}, nil, fmt.Errorf("netsim: IPv4 header checksum mismatch")
+	}
+	var h IPv4Header
+	h.TotalLen = binary.BigEndian.Uint16(pkt[2:4])
+	h.ID = binary.BigEndian.Uint16(pkt[4:6])
+	h.TTL = pkt[8]
+	h.Protocol = pkt[9]
+	h.Checksum = binary.BigEndian.Uint16(pkt[10:12])
+	copy(h.Src[:], pkt[12:16])
+	copy(h.Dst[:], pkt[16:20])
+	if int(h.TotalLen) > len(pkt) {
+		return IPv4Header{}, nil, fmt.Errorf("netsim: truncated IPv4 packet")
+	}
+	return h, pkt[IPv4HeaderLen:h.TotalLen], nil
+}
+
+// pseudoSum computes the TCP/UDP pseudo-header checksum contribution.
+func pseudoSum(src, dst IP, proto uint8, length int) uint32 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+func transportChecksum(src, dst IP, proto uint8, segment []byte) uint16 {
+	sum := pseudoSum(src, dst, proto, len(segment))
+	for i := 0; i+1 < len(segment); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(segment[i : i+2]))
+	}
+	if len(segment)%2 == 1 {
+		sum += uint32(segment[len(segment)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// BuildUDP prepends a UDP header (with checksum) to payload.
+func BuildUDP(src, dst IP, h UDPHeader, payload []byte) []byte {
+	out := make([]byte, UDPHeaderLen+len(payload))
+	binary.BigEndian.PutUint16(out[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(out[2:4], h.DstPort)
+	binary.BigEndian.PutUint16(out[4:6], uint16(UDPHeaderLen+len(payload)))
+	copy(out[UDPHeaderLen:], payload)
+	binary.BigEndian.PutUint16(out[6:8], transportChecksum(src, dst, ProtoUDP, out))
+	return out
+}
+
+// ParseUDP validates and splits a UDP datagram.
+func ParseUDP(src, dst IP, seg []byte) (UDPHeader, []byte, error) {
+	if len(seg) < UDPHeaderLen {
+		return UDPHeader{}, nil, fmt.Errorf("netsim: UDP segment too short (%d)", len(seg))
+	}
+	if transportChecksum(src, dst, ProtoUDP, seg) != 0 {
+		return UDPHeader{}, nil, fmt.Errorf("netsim: UDP checksum mismatch")
+	}
+	var h UDPHeader
+	h.SrcPort = binary.BigEndian.Uint16(seg[0:2])
+	h.DstPort = binary.BigEndian.Uint16(seg[2:4])
+	h.Length = binary.BigEndian.Uint16(seg[4:6])
+	h.Checksum = binary.BigEndian.Uint16(seg[6:8])
+	if int(h.Length) > len(seg) {
+		return UDPHeader{}, nil, fmt.Errorf("netsim: truncated UDP datagram")
+	}
+	return h, seg[UDPHeaderLen:h.Length], nil
+}
+
+// BuildTCP prepends a TCP header (with checksum) to payload.
+func BuildTCP(src, dst IP, h TCPHeader, payload []byte) []byte {
+	out := make([]byte, TCPHeaderLen+len(payload))
+	binary.BigEndian.PutUint16(out[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(out[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(out[4:8], h.Seq)
+	binary.BigEndian.PutUint32(out[8:12], h.Ack)
+	out[12] = 5 << 4 // data offset: 5 words
+	out[13] = h.Flags
+	window := h.Window
+	if window == 0 {
+		window = 65535
+	}
+	binary.BigEndian.PutUint16(out[14:16], window)
+	copy(out[TCPHeaderLen:], payload)
+	binary.BigEndian.PutUint16(out[16:18], transportChecksum(src, dst, ProtoTCP, out))
+	return out
+}
+
+// ParseTCP validates and splits a TCP segment.
+func ParseTCP(src, dst IP, seg []byte) (TCPHeader, []byte, error) {
+	if len(seg) < TCPHeaderLen {
+		return TCPHeader{}, nil, fmt.Errorf("netsim: TCP segment too short (%d)", len(seg))
+	}
+	if transportChecksum(src, dst, ProtoTCP, seg) != 0 {
+		return TCPHeader{}, nil, fmt.Errorf("netsim: TCP checksum mismatch")
+	}
+	var h TCPHeader
+	h.SrcPort = binary.BigEndian.Uint16(seg[0:2])
+	h.DstPort = binary.BigEndian.Uint16(seg[2:4])
+	h.Seq = binary.BigEndian.Uint32(seg[4:8])
+	h.Ack = binary.BigEndian.Uint32(seg[8:12])
+	h.Flags = seg[13]
+	h.Window = binary.BigEndian.Uint16(seg[14:16])
+	h.Checksum = binary.BigEndian.Uint16(seg[16:18])
+	off := int(seg[12]>>4) * 4
+	if off < TCPHeaderLen || off > len(seg) {
+		return TCPHeader{}, nil, fmt.Errorf("netsim: bad TCP data offset %d", off)
+	}
+	return h, seg[off:], nil
+}

@@ -1,0 +1,162 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	srcIP = IP{10, 0, 0, 1}
+	dstIP = IP{10, 0, 0, 2}
+)
+
+func TestEthRoundTrip(t *testing.T) {
+	h := EthHeader{
+		Dst:       MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		Src:       MAC{0x02, 0, 0, 0, 0, 1},
+		EtherType: EtherTypeIPv4,
+	}
+	frame := BuildEth(h, []byte("payload"))
+	got, payload, err := ParseEth(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h || string(payload) != "payload" {
+		t.Fatalf("round trip lost data: %+v %q", got, payload)
+	}
+	if _, _, err := ParseEth(frame[:10]); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestIPv4GoldenHeader(t *testing.T) {
+	pkt := BuildIPv4(IPv4Header{ID: 0x1234, Protocol: ProtoUDP, Src: srcIP, Dst: dstIP}, []byte{0xAB})
+	// Version/IHL.
+	if pkt[0] != 0x45 {
+		t.Fatalf("version/IHL byte = %#x", pkt[0])
+	}
+	// Total length 21.
+	if pkt[2] != 0 || pkt[3] != 21 {
+		t.Fatalf("total length bytes = %x %x", pkt[2], pkt[3])
+	}
+	// The checksum must validate.
+	if ipChecksum(pkt[:IPv4HeaderLen]) != 0 {
+		t.Fatal("checksum does not self-validate")
+	}
+	h, payload, err := ParseIPv4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Src != srcIP || h.Dst != dstIP || h.Protocol != ProtoUDP || len(payload) != 1 {
+		t.Fatalf("parse mismatch: %+v", h)
+	}
+}
+
+func TestIPv4CorruptionDetected(t *testing.T) {
+	pkt := BuildIPv4(IPv4Header{Protocol: ProtoUDP, Src: srcIP, Dst: dstIP}, []byte("data"))
+	pkt[12] ^= 0xFF // flip a source-address byte
+	if _, _, err := ParseIPv4(pkt); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+}
+
+func TestUDPRoundTripAndChecksum(t *testing.T) {
+	seg := BuildUDP(srcIP, dstIP, UDPHeader{SrcPort: 1234, DstPort: 53}, []byte("query"))
+	h, data, err := ParseUDP(srcIP, dstIP, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SrcPort != 1234 || h.DstPort != 53 || string(data) != "query" {
+		t.Fatalf("round trip mismatch: %+v %q", h, data)
+	}
+	// Payload corruption must be caught by the checksum.
+	seg[UDPHeaderLen] ^= 0x01
+	if _, _, err := ParseUDP(srcIP, dstIP, seg); err == nil {
+		t.Fatal("corrupted UDP accepted")
+	}
+	// Wrong pseudo-header (different dst IP) must also fail.
+	seg[UDPHeaderLen] ^= 0x01 // restore
+	if _, _, err := ParseUDP(srcIP, IP{9, 9, 9, 9}, seg); err == nil {
+		t.Fatal("UDP accepted under wrong pseudo-header")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	h := TCPHeader{SrcPort: 80, DstPort: 5555, Seq: 0xDEADBEEF, Ack: 0x1F2F3F4F,
+		Flags: TCPSyn | TCPAck}
+	seg := BuildTCP(srcIP, dstIP, h, []byte("hello"))
+	got, data, err := ParseTCP(srcIP, dstIP, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != h.Seq || got.Ack != h.Ack || got.Flags != h.Flags ||
+		got.SrcPort != 80 || got.DstPort != 5555 || string(data) != "hello" {
+		t.Fatalf("round trip mismatch: %+v %q", got, data)
+	}
+}
+
+// Property: UDP build/parse round-trips arbitrary payloads exactly.
+func TestQuickUDPRoundTrip(t *testing.T) {
+	f := func(sport, dport uint16, payload []byte) bool {
+		if len(payload) > MTU-IPv4HeaderLen-UDPHeaderLen {
+			payload = payload[:MTU-IPv4HeaderLen-UDPHeaderLen]
+		}
+		seg := BuildUDP(srcIP, dstIP, UDPHeader{SrcPort: sport, DstPort: dport}, payload)
+		h, data, err := ParseUDP(srcIP, dstIP, seg)
+		return err == nil && h.SrcPort == sport && h.DstPort == dport &&
+			bytes.Equal(data, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single bit flip in a TCP segment is detected.
+func TestQuickTCPBitFlipDetected(t *testing.T) {
+	f := func(seed uint32, payload []byte) bool {
+		if len(payload) == 0 {
+			payload = []byte{0}
+		}
+		if len(payload) > 512 {
+			payload = payload[:512]
+		}
+		seg := BuildTCP(srcIP, dstIP, TCPHeader{SrcPort: 1, DstPort: 2, Seq: seed}, payload)
+		bit := int(seed) % (len(seg) * 8)
+		// Skip flips in the data-offset nibble: they change header length
+		// interpretation (caught separately as structural errors) and the
+		// window field... actually any flip must produce SOME error.
+		seg[bit/8] ^= 1 << (bit % 8)
+		_, _, err := ParseTCP(srcIP, dstIP, seg)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the full encapsulation eth(ip(udp)) survives a round trip.
+func TestQuickFullEncapsulation(t *testing.T) {
+	f := func(payload []byte) bool {
+		if len(payload) > 1000 {
+			payload = payload[:1000]
+		}
+		udp := BuildUDP(srcIP, dstIP, UDPHeader{SrcPort: 7, DstPort: 9}, payload)
+		ip := BuildIPv4(IPv4Header{Protocol: ProtoUDP, Src: srcIP, Dst: dstIP}, udp)
+		frame := BuildEth(EthHeader{EtherType: EtherTypeIPv4}, ip)
+
+		_, ipPkt, err := ParseEth(frame)
+		if err != nil {
+			return false
+		}
+		iph, seg, err := ParseIPv4(ipPkt)
+		if err != nil || iph.Protocol != ProtoUDP {
+			return false
+		}
+		_, data, err := ParseUDP(iph.Src, iph.Dst, seg)
+		return err == nil && bytes.Equal(data, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+// Package policy hosts shared helpers for Skyloft scheduling policies. The
+// actual policies live in subpackages (fifo, rr, cfs, eevdf, worksteal,
+// shinjuku), each implementing the paper's Table 2 operations in a few
+// hundred lines — the point of Table 4.
+package policy
+
+import "skyloft/internal/sched"
+
+// Placer implements the standard wakeup placement: the last CPU if idle,
+// otherwise any idle CPU, otherwise the task's last CPU; tasks that never
+// ran are spread round-robin so a burst of spawns does not pile onto CPU 0.
+type Placer struct {
+	next int
+}
+
+// Pick selects a CPU for t given the per-CPU idle mask.
+func (p *Placer) Pick(t *sched.Thread, idle []bool) int {
+	if t.LastCPU >= 0 && t.LastCPU < len(idle) && idle[t.LastCPU] {
+		return t.LastCPU
+	}
+	for i, ok := range idle {
+		if ok {
+			return i
+		}
+	}
+	if t.LastCPU >= 0 && t.LastCPU < len(idle) {
+		return t.LastCPU
+	}
+	cpu := p.next % len(idle)
+	p.next++
+	return cpu
+}
+
+// Deque is a simple double-ended task queue.
+type Deque struct {
+	items []*sched.Thread
+}
+
+// PushBack appends t.
+func (d *Deque) PushBack(t *sched.Thread) { d.items = append(d.items, t) }
+
+// PushFront prepends t.
+func (d *Deque) PushFront(t *sched.Thread) {
+	d.items = append([]*sched.Thread{t}, d.items...)
+}
+
+// PopFront removes and returns the head, or nil.
+func (d *Deque) PopFront() *sched.Thread {
+	if len(d.items) == 0 {
+		return nil
+	}
+	t := d.items[0]
+	d.items = d.items[1:]
+	return t
+}
+
+// PopBack removes and returns the tail, or nil.
+func (d *Deque) PopBack() *sched.Thread {
+	if len(d.items) == 0 {
+		return nil
+	}
+	t := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	return t
+}
+
+// Len reports the queue length.
+func (d *Deque) Len() int { return len(d.items) }

@@ -1,0 +1,117 @@
+// Package proc implements deterministic simulated threads on top of Go
+// goroutines. A P is a coroutine: exactly one P (or the simulation driver)
+// executes at any instant, with strict channel handoff, so simulations stay
+// fully deterministic regardless of GOMAXPROCS. Application code written
+// against P reads like ordinary sequential thread code — it "runs" on the
+// simulated machine by issuing requests (run for d, block, wake x) that the
+// hosting scheduler engine services in virtual time.
+package proc
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Request is an operation a simulated thread asks its engine to perform.
+// Engines define their own request types; proc treats them opaquely.
+type Request any
+
+// ExitRequest is delivered to the engine when the thread's body returns.
+type ExitRequest struct{}
+
+// P is one simulated thread backed by a goroutine.
+type P struct {
+	name    string
+	resume  chan any     // engine -> thread: response to last request
+	yield   chan Request // thread -> engine: next request
+	started bool
+	done    bool
+	killed  bool
+}
+
+// killSentinel unwinds a killed thread's goroutine.
+type killSentinel struct{}
+
+// New creates a simulated thread that will execute body. The goroutine is
+// not started until the first Resume.
+func New(name string, body func(*Ctx)) *P {
+	p := &P{
+		name:   name,
+		resume: make(chan any),
+		yield:  make(chan Request),
+	}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSentinel); ok {
+					return // killed by engine; unwind silently
+				}
+				panic(r) // real bug in thread body: propagate
+			}
+		}()
+		v := <-p.resume // wait for first Resume
+		if _, ok := v.(killSentinel); ok {
+			return // killed before ever running
+		}
+		body(&Ctx{p: p})
+		p.done = true
+		p.yield <- ExitRequest{}
+	}()
+	return p
+}
+
+// Name reports the thread's debug name.
+func (p *P) Name() string { return p.name }
+
+// Done reports whether the thread body has returned.
+func (p *P) Done() bool { return p.done }
+
+// Resume runs the thread until it issues its next request, passing v as the
+// response to the previous request (ignored on first resume). It returns
+// the new request; ExitRequest{} means the body returned. Resume panics if
+// called on a finished or killed thread.
+func (p *P) Resume(v any) Request {
+	if p.done || p.killed {
+		panic(fmt.Sprintf("proc: Resume on finished thread %q", p.name))
+	}
+	p.started = true
+	p.resume <- v
+	return <-p.yield
+}
+
+// Kill terminates a parked (or never-started) thread's goroutine. It is a
+// no-op for finished or already-killed threads. The engine must only call
+// Kill while the thread is parked, which is always the case under the
+// strict-handoff discipline.
+func (p *P) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	p.resume <- killSentinel{}
+	// The goroutine unwinds via the sentinel; no yield follows.
+}
+
+// Ctx is the thread-side handle used inside a thread body.
+type Ctx struct {
+	p *P
+}
+
+// Ask parks the thread with a request and returns the engine's response.
+// If the engine kills the thread while parked, Ask never returns (the
+// goroutine unwinds).
+func (c *Ctx) Ask(r Request) any {
+	c.p.yield <- r
+	v := <-c.p.resume
+	if _, ok := v.(killSentinel); ok {
+		panic(killSentinel{})
+	}
+	return v
+}
+
+// Name reports the thread's debug name.
+func (c *Ctx) Name() string { return c.p.name }
+
+// Gosched is a hook for tests: it yields the OS scheduler so leaked-
+// goroutine detection settles.
+func Gosched() { runtime.Gosched() }

@@ -1,0 +1,141 @@
+package proc
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+type testReq struct{ n int }
+
+func TestResumeYieldCycle(t *testing.T) {
+	var trace []int
+	p := New("worker", func(c *Ctx) {
+		for i := 0; i < 3; i++ {
+			v := c.Ask(testReq{n: i})
+			trace = append(trace, v.(int))
+		}
+	})
+	resp := 0
+	for i := 0; ; i++ {
+		req := p.Resume(resp * 10)
+		if _, done := req.(ExitRequest); done {
+			break
+		}
+		r := req.(testReq)
+		if r.n != i {
+			t.Fatalf("request %d carried n=%d", i, r.n)
+		}
+		resp = r.n + 1
+	}
+	want := []int{10, 20, 30}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+	if !p.Done() {
+		t.Fatal("thread not done after exit")
+	}
+}
+
+func TestStrictHandoffDeterminism(t *testing.T) {
+	// Many threads interleaved by the driver produce the same trace every
+	// time, regardless of Go's scheduler.
+	run := func() []string {
+		var trace []string
+		var ps []*P
+		for i := 0; i < 8; i++ {
+			name := string(rune('a' + i))
+			ps = append(ps, New(name, func(c *Ctx) {
+				for j := 0; j < 5; j++ {
+					c.Ask(testReq{n: j})
+				}
+			}))
+		}
+		live := make(map[*P]bool)
+		for _, p := range ps {
+			live[p] = true
+		}
+		for len(live) > 0 {
+			for _, p := range ps {
+				if !live[p] {
+					continue
+				}
+				req := p.Resume(nil)
+				if _, done := req.(ExitRequest); done {
+					delete(live, p)
+					trace = append(trace, p.Name()+"!")
+				} else {
+					trace = append(trace, p.Name())
+				}
+			}
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestKillParkedThread(t *testing.T) {
+	p := New("victim", func(c *Ctx) {
+		c.Ask(testReq{})
+		t.Error("thread ran past kill point")
+	})
+	req := p.Resume(nil)
+	if _, ok := req.(testReq); !ok {
+		t.Fatalf("unexpected request %T", req)
+	}
+	p.Kill()
+	// Give the goroutine a chance to unwind, then verify idempotence.
+	for i := 0; i < 100; i++ {
+		runtime.Gosched()
+	}
+	p.Kill() // second kill is a no-op
+}
+
+func TestKillNeverStartedThread(t *testing.T) {
+	ran := false
+	p := New("unborn", func(c *Ctx) { ran = true })
+	p.Kill()
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+	if ran {
+		t.Fatal("killed never-started thread still ran")
+	}
+}
+
+func TestKillRunsDefers(t *testing.T) {
+	deferred := make(chan bool, 1)
+	p := New("victim", func(c *Ctx) {
+		defer func() { deferred <- true }()
+		c.Ask(testReq{})
+	})
+	p.Resume(nil)
+	p.Kill()
+	select {
+	case <-deferred:
+	case <-time.After(2 * time.Second):
+		t.Fatal("deferred cleanup did not run on kill")
+	}
+}
+
+func TestResumeAfterExitPanics(t *testing.T) {
+	p := New("short", func(c *Ctx) {})
+	p.Resume(nil) // runs to completion
+	defer func() {
+		if recover() == nil {
+			t.Error("Resume after exit did not panic")
+		}
+	}()
+	p.Resume(nil)
+}

@@ -1,0 +1,137 @@
+package rng
+
+import (
+	"fmt"
+	"sort"
+
+	"skyloft/internal/simtime"
+)
+
+// Dist draws virtual-time durations, e.g. service times or inter-arrival
+// gaps. Implementations must be deterministic given the generator stream.
+type Dist interface {
+	// Sample draws one duration. Results are always >= 0.
+	Sample(r *Rand) simtime.Duration
+	// Mean reports the distribution's analytic mean, used to convert
+	// target loads into arrival rates.
+	Mean() simtime.Duration
+	String() string
+}
+
+// Fixed is a degenerate distribution: every sample equals Value.
+type Fixed struct{ Value simtime.Duration }
+
+func (d Fixed) Sample(*Rand) simtime.Duration { return d.Value }
+func (d Fixed) Mean() simtime.Duration        { return d.Value }
+func (d Fixed) String() string                { return fmt.Sprintf("fixed(%v)", d.Value) }
+
+// Exponential has the given mean; the classic M/M/... service model and the
+// inter-arrival law of a Poisson process.
+type Exponential struct{ MeanVal simtime.Duration }
+
+func (d Exponential) Sample(r *Rand) simtime.Duration {
+	return simtime.Duration(r.Exp(float64(d.MeanVal)))
+}
+func (d Exponential) Mean() simtime.Duration { return d.MeanVal }
+func (d Exponential) String() string         { return fmt.Sprintf("exp(%v)", d.MeanVal) }
+
+// Bimodal draws Short with probability PShort, else Long. This models the
+// paper's dispersive workloads: the Fig. 7 synthetic load (99.5% of 4 µs,
+// 0.5% of 10 ms) and the RocksDB GET/SCAN mix (50% of 0.95 µs, 50% of
+// 591 µs).
+type Bimodal struct {
+	PShort      float64
+	Short, Long simtime.Duration
+}
+
+func (d Bimodal) Sample(r *Rand) simtime.Duration {
+	if r.Bernoulli(d.PShort) {
+		return d.Short
+	}
+	return d.Long
+}
+
+func (d Bimodal) Mean() simtime.Duration {
+	return simtime.Duration(d.PShort*float64(d.Short) + (1-d.PShort)*float64(d.Long))
+}
+
+func (d Bimodal) String() string {
+	return fmt.Sprintf("bimodal(%.3f:%v, %.3f:%v)", d.PShort, d.Short, 1-d.PShort, d.Long)
+}
+
+// Empirical draws from a fixed table of (weight, value) pairs — used for
+// multi-modal request mixes such as Memcached's USR GET/SET split where
+// each class additionally has its own spread.
+type Empirical struct {
+	points []empiricalPoint
+	mean   simtime.Duration
+}
+
+type empiricalPoint struct {
+	cum  float64
+	dist Dist
+}
+
+// NewEmpirical builds an empirical mixture. Weights need not sum to one;
+// they are normalised. It panics on empty input or non-positive weights.
+func NewEmpirical(weights []float64, dists []Dist) *Empirical {
+	if len(weights) == 0 || len(weights) != len(dists) {
+		panic("rng: NewEmpirical wants equal-length non-empty weights and dists")
+	}
+	var total float64
+	for _, w := range weights {
+		if w <= 0 {
+			panic("rng: NewEmpirical weights must be positive")
+		}
+		total += w
+	}
+	e := &Empirical{}
+	var cum float64
+	var mean float64
+	for i, w := range weights {
+		cum += w / total
+		e.points = append(e.points, empiricalPoint{cum: cum, dist: dists[i]})
+		mean += w / total * float64(dists[i].Mean())
+	}
+	e.points[len(e.points)-1].cum = 1.0
+	e.mean = simtime.Duration(mean)
+	return e
+}
+
+func (e *Empirical) Sample(r *Rand) simtime.Duration {
+	u := r.Float64()
+	i := sort.Search(len(e.points), func(i int) bool { return e.points[i].cum >= u })
+	if i >= len(e.points) {
+		i = len(e.points) - 1
+	}
+	return e.points[i].dist.Sample(r)
+}
+
+func (e *Empirical) Mean() simtime.Duration { return e.mean }
+func (e *Empirical) String() string         { return fmt.Sprintf("empirical(%d classes)", len(e.points)) }
+
+// Poisson generates open-loop arrival times: a stateful sequence of
+// exponentially spaced instants at the given rate (requests per second).
+type Poisson struct {
+	gap  Exponential
+	next simtime.Time
+}
+
+// NewPoisson returns an arrival process with the given rate in requests per
+// virtual second. It panics if rate is non-positive.
+func NewPoisson(rate float64) *Poisson {
+	if rate <= 0 {
+		panic("rng: NewPoisson with non-positive rate")
+	}
+	mean := simtime.Duration(float64(simtime.Second) / rate)
+	if mean < 1 {
+		mean = 1
+	}
+	return &Poisson{gap: Exponential{MeanVal: mean}}
+}
+
+// Next advances the process and returns the next arrival instant.
+func (p *Poisson) Next(r *Rand) simtime.Time {
+	p.next += p.gap.Sample(r) + 1 // strictly increasing
+	return p.next
+}

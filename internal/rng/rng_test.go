@@ -1,0 +1,171 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"skyloft/internal/simtime"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := New(7)
+	c1 := a.Split()
+	c2 := a.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d/100 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(3)
+	const mean = 1000.0
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(mean)
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Fatalf("Exp mean = %v, want ~%v", got, mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(9)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(10)]++
+	}
+	for d, c := range counts {
+		if math.Abs(float64(c)-n/10)/(n/10) > 0.05 {
+			t.Fatalf("digit %d count %d deviates >5%% from uniform", d, c)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%50) + 1
+		p := New(seed).Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBimodalMix(t *testing.T) {
+	d := Bimodal{PShort: 0.995, Short: 4 * simtime.Microsecond, Long: 10 * simtime.Millisecond}
+	r := New(5)
+	var short, long int
+	for i := 0; i < 100000; i++ {
+		switch d.Sample(r) {
+		case 4 * simtime.Microsecond:
+			short++
+		case 10 * simtime.Millisecond:
+			long++
+		default:
+			t.Fatal("bimodal produced a third value")
+		}
+	}
+	frac := float64(long) / 100000
+	if frac < 0.003 || frac > 0.007 {
+		t.Fatalf("long fraction = %v, want ~0.005", frac)
+	}
+	wantMean := simtime.Duration(0.995*float64(4*simtime.Microsecond) + 0.005*float64(10*simtime.Millisecond))
+	if d.Mean() != wantMean {
+		t.Fatalf("Mean() = %v, want %v", d.Mean(), wantMean)
+	}
+}
+
+func TestEmpiricalMixture(t *testing.T) {
+	e := NewEmpirical(
+		[]float64{998, 2},
+		[]Dist{Fixed{Value: 2 * simtime.Microsecond}, Fixed{Value: 4 * simtime.Microsecond}},
+	)
+	r := New(11)
+	var hi int
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if e.Sample(r) == 4*simtime.Microsecond {
+			hi++
+		}
+	}
+	frac := float64(hi) / n
+	if frac < 0.001 || frac > 0.003 {
+		t.Fatalf("rare class fraction = %v, want ~0.002", frac)
+	}
+}
+
+func TestPoissonMonotonicRate(t *testing.T) {
+	r := New(13)
+	p := NewPoisson(1e6) // 1M rps → 1 µs mean gap
+	var prev simtime.Time
+	var last simtime.Time
+	const n = 100000
+	for i := 0; i < n; i++ {
+		at := p.Next(r)
+		if at <= prev {
+			t.Fatal("arrival times not strictly increasing")
+		}
+		prev = at
+		last = at
+	}
+	gotRate := float64(n) / (float64(last) / float64(simtime.Second))
+	if math.Abs(gotRate-1e6)/1e6 > 0.02 {
+		t.Fatalf("observed rate %v, want ~1e6", gotRate)
+	}
+}
+
+func TestFixedAndExponential(t *testing.T) {
+	f := Fixed{Value: 42}
+	if f.Sample(New(1)) != 42 || f.Mean() != 42 {
+		t.Fatal("Fixed distribution broken")
+	}
+	e := Exponential{MeanVal: 10 * simtime.Microsecond}
+	r := New(2)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(e.Sample(r))
+	}
+	got := sum / n
+	want := float64(10 * simtime.Microsecond)
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("Exponential mean = %v, want ~%v", got, want)
+	}
+}

@@ -1,0 +1,160 @@
+package shm
+
+import (
+	"fmt"
+
+	"skyloft/internal/simtime"
+)
+
+// Intel MPK (Memory Protection Keys) model for the §6 "shared memory
+// protection" discussion: scheduling multiple applications over shared
+// runqueues means a malicious application could tamper with scheduling
+// metadata; tagging the shared segment with a protection key and flipping
+// PKRU in a guardian before entering scheduler code confines writes to the
+// scheduler path. This package models the key assignment, the per-domain
+// PKRU register, and the guardian gate with its WRPKRU cost, so the engine
+// can charge protection overhead and tests can demonstrate both the
+// enforcement and the §6 caveat (untrusted code executing WRPKRU itself).
+
+// PKey is one of the 16 protection keys.
+type PKey uint8
+
+// NumPKeys is the architectural key count.
+const NumPKeys = 16
+
+// PKRU is the per-thread protection-key rights register: 2 bits per key
+// (bit 2k = access-disable, bit 2k+1 = write-disable).
+type PKRU uint32
+
+// Deny reports a PKRU denying all access to every key except key 0.
+func DenyAll() PKRU {
+	var p PKRU
+	for k := PKey(1); k < NumPKeys; k++ {
+		p |= PKRU(0b11) << (2 * k)
+	}
+	return p
+}
+
+// WithAccess returns p with access (and optionally write) enabled for k.
+func (p PKRU) WithAccess(k PKey, write bool) PKRU {
+	p &^= PKRU(0b01) << (2 * k) // clear access-disable
+	if write {
+		p &^= PKRU(0b10) << (2 * k)
+	} else {
+		p |= PKRU(0b10) << (2 * k)
+	}
+	return p
+}
+
+// MayRead reports whether p permits reads through key k.
+func (p PKRU) MayRead(k PKey) bool { return p&(PKRU(0b01)<<(2*k)) == 0 }
+
+// MayWrite reports whether p permits writes through key k.
+func (p PKRU) MayWrite(k PKey) bool {
+	return p.MayRead(k) && p&(PKRU(0b10)<<(2*k)) == 0
+}
+
+// AccessError reports a protection-key violation.
+type AccessError struct {
+	Key   PKey
+	Write bool
+}
+
+func (e *AccessError) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("shm: protection-key violation: %s through pkey %d", op, e.Key)
+}
+
+// Guardian gates entry into scheduler code: application code runs with the
+// scheduler key disabled; the guardian's Enter flips PKRU (WRPKRU) to the
+// scheduler view and Exit flips it back. The cost of each flip is the
+// WRPKRU instruction (~20 cycles ≈ 10 ns at 2 GHz).
+type Guardian struct {
+	SchedKey PKey
+	AppPKRU  PKRU // what application code runs with
+	inSched  bool
+	current  PKRU
+	flips    uint64
+}
+
+// WRPKRUCost is the virtual-time cost of one PKRU write.
+const WRPKRUCost simtime.Duration = 10
+
+// NewGuardian creates a guardian protecting schedKey: application code can
+// read the shared segment (scheduling info must be visible, §4.1) but not
+// write it.
+func NewGuardian(schedKey PKey) *Guardian {
+	app := DenyAll().WithAccess(0, true).WithAccess(schedKey, false)
+	return &Guardian{SchedKey: schedKey, AppPKRU: app, current: app}
+}
+
+// Enter switches to the scheduler view, returning the WRPKRU cost.
+func (g *Guardian) Enter() simtime.Duration {
+	g.inSched = true
+	g.current = g.AppPKRU.WithAccess(g.SchedKey, true)
+	g.flips++
+	return WRPKRUCost
+}
+
+// Exit returns to the application view, returning the WRPKRU cost.
+func (g *Guardian) Exit() simtime.Duration {
+	g.inSched = false
+	g.current = g.AppPKRU
+	g.flips++
+	return WRPKRUCost
+}
+
+// Flips reports PKRU writes performed.
+func (g *Guardian) Flips() uint64 { return g.flips }
+
+// InScheduler reports whether the scheduler view is active.
+func (g *Guardian) InScheduler() bool { return g.inSched }
+
+// CheckRead validates a read of memory tagged with key k under the current
+// view.
+func (g *Guardian) CheckRead(k PKey) error {
+	if !g.current.MayRead(k) {
+		return &AccessError{Key: k}
+	}
+	return nil
+}
+
+// CheckWrite validates a write of memory tagged with key k.
+func (g *Guardian) CheckWrite(k PKey) error {
+	if !g.current.MayWrite(k) {
+		return &AccessError{Key: k, Write: true}
+	}
+	return nil
+}
+
+// ProtectedSegment couples a Segment with a protection key and a guardian,
+// enforcing the checks on the mutating operations.
+type ProtectedSegment struct {
+	*Segment
+	Key      PKey
+	Guardian *Guardian
+}
+
+// Protect wraps seg with MPK enforcement under key k.
+func Protect(seg *Segment, k PKey) *ProtectedSegment {
+	return &ProtectedSegment{Segment: seg, Key: k, Guardian: NewGuardian(k)}
+}
+
+// RegisterApp enforces the write check before mutating the registry.
+func (p *ProtectedSegment) RegisterApp(name string) (*AppMeta, error) {
+	if err := p.Guardian.CheckWrite(p.Key); err != nil {
+		return nil, err
+	}
+	return p.Segment.RegisterApp(name), nil
+}
+
+// Alloc enforces the write check before taking a pool slot.
+func (p *ProtectedSegment) Alloc(v any) (int32, error) {
+	if err := p.Guardian.CheckWrite(p.Key); err != nil {
+		return -1, err
+	}
+	return p.Segment.Pool().Alloc(v), nil
+}

@@ -1,0 +1,108 @@
+package shm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestPKRUBits(t *testing.T) {
+	p := DenyAll()
+	for k := PKey(1); k < NumPKeys; k++ {
+		if p.MayRead(k) || p.MayWrite(k) {
+			t.Fatalf("DenyAll allows key %d", k)
+		}
+	}
+	if !p.MayRead(0) {
+		t.Fatal("key 0 must stay accessible (it tags normal memory)")
+	}
+	p = p.WithAccess(5, false)
+	if !p.MayRead(5) || p.MayWrite(5) {
+		t.Fatal("read-only access wrong")
+	}
+	p = p.WithAccess(5, true)
+	if !p.MayWrite(5) {
+		t.Fatal("write access wrong")
+	}
+}
+
+// Property: WithAccess touches only the target key's bits.
+func TestQuickPKRUIsolation(t *testing.T) {
+	f := func(key uint8, write bool) bool {
+		k := PKey(key % NumPKeys)
+		p := DenyAll().WithAccess(k, write)
+		for other := PKey(1); other < NumPKeys; other++ {
+			if other == k {
+				continue
+			}
+			if p.MayRead(other) || p.MayWrite(other) {
+				return false
+			}
+		}
+		return p.MayRead(k) && p.MayWrite(k) == write
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardianGatesWrites(t *testing.T) {
+	g := NewGuardian(3)
+	// Application view: reads allowed (scheduling info is visible, §4.1),
+	// writes denied.
+	if err := g.CheckRead(3); err != nil {
+		t.Fatalf("app-view read denied: %v", err)
+	}
+	if err := g.CheckWrite(3); err == nil {
+		t.Fatal("app-view write allowed")
+	}
+	// Scheduler view after Enter.
+	if cost := g.Enter(); cost != WRPKRUCost {
+		t.Fatalf("Enter cost %v", cost)
+	}
+	if !g.InScheduler() {
+		t.Fatal("not in scheduler view")
+	}
+	if err := g.CheckWrite(3); err != nil {
+		t.Fatalf("scheduler-view write denied: %v", err)
+	}
+	g.Exit()
+	if err := g.CheckWrite(3); err == nil {
+		t.Fatal("write allowed after Exit")
+	}
+	if g.Flips() != 2 {
+		t.Fatalf("Flips = %d", g.Flips())
+	}
+}
+
+func TestProtectedSegmentEnforces(t *testing.T) {
+	ps := Protect(NewSegment(8), 7)
+	// Malicious application path: mutation without the guardian.
+	if _, err := ps.RegisterApp("evil"); err == nil {
+		t.Fatal("unguarded RegisterApp succeeded")
+	}
+	var ae *AccessError
+	_, err := ps.Alloc("x")
+	if !errors.As(err, &ae) || !ae.Write || ae.Key != 7 {
+		t.Fatalf("wrong error: %v", err)
+	}
+	// Legitimate scheduler path.
+	ps.Guardian.Enter()
+	if _, err := ps.RegisterApp("good"); err != nil {
+		t.Fatalf("guarded RegisterApp failed: %v", err)
+	}
+	if idx, err := ps.Alloc("meta"); err != nil || idx < 0 {
+		t.Fatalf("guarded Alloc failed: %v", err)
+	}
+	ps.Guardian.Exit()
+	if ps.Apps() != 1 {
+		t.Fatalf("Apps = %d", ps.Apps())
+	}
+}
+
+func TestAccessErrorMessage(t *testing.T) {
+	e := &AccessError{Key: 4, Write: true}
+	if e.Error() == "" {
+		t.Fatal("empty error")
+	}
+}

@@ -1,0 +1,107 @@
+package shm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAppRegistry(t *testing.T) {
+	s := NewSegment(16)
+	a := s.RegisterApp("memcached")
+	b := s.RegisterApp("batch")
+	if a.ID != 0 || b.ID != 1 || s.Apps() != 2 {
+		t.Fatalf("registry ids wrong: %d %d", a.ID, b.ID)
+	}
+	a.KThreadTIDs[3] = 1007
+	if s.App(0).KThreadTIDs[3] != 1007 {
+		t.Fatal("metadata not shared")
+	}
+	if s.App(5) != nil || s.App(-1) != nil {
+		t.Fatal("out-of-range App lookup should be nil")
+	}
+}
+
+func TestPoolAllocFree(t *testing.T) {
+	p := NewPool(3)
+	i1 := p.Alloc("a")
+	i2 := p.Alloc("b")
+	i3 := p.Alloc("c")
+	if i1 < 0 || i2 < 0 || i3 < 0 {
+		t.Fatal("alloc failed with capacity available")
+	}
+	if p.Alloc("d") != -1 {
+		t.Fatal("alloc succeeded beyond capacity")
+	}
+	if p.Get(i2) != "b" {
+		t.Fatal("Get returned wrong value")
+	}
+	p.Free(i2)
+	if p.InUse() != 2 {
+		t.Fatalf("InUse = %d", p.InUse())
+	}
+	i4 := p.Alloc("e")
+	if i4 != i2 {
+		t.Fatalf("freed slot not reused: got %d want %d", i4, i2)
+	}
+	if p.HighWater() != 3 {
+		t.Fatalf("HighWater = %d", p.HighWater())
+	}
+}
+
+func TestPoolDoubleFreePanics(t *testing.T) {
+	p := NewPool(1)
+	i := p.Alloc("x")
+	p.Free(i)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	p.Free(i)
+}
+
+func TestPoolOutOfRangePanics(t *testing.T) {
+	p := NewPool(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Get did not panic")
+		}
+	}()
+	p.Get(5)
+}
+
+// Property: any interleaving of allocs and frees keeps accounting exact and
+// never hands out an in-use slot.
+func TestQuickPoolInvariant(t *testing.T) {
+	f := func(ops []bool) bool {
+		p := NewPool(8)
+		var live []int32
+		for i, alloc := range ops {
+			if alloc || len(live) == 0 {
+				idx := p.Alloc(i)
+				if idx == -1 {
+					if p.InUse() != 8 {
+						return false
+					}
+					continue
+				}
+				for _, l := range live {
+					if l == idx {
+						return false // handed out an in-use slot
+					}
+				}
+				live = append(live, idx)
+			} else {
+				p.Free(live[0])
+				live = live[1:]
+			}
+			if p.InUse() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

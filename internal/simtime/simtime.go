@@ -1,0 +1,234 @@
+// Package simtime provides the virtual clock and discrete-event queue that
+// drive the simulated machine. All of Skyloft's simulated hardware, kernel,
+// and schedulers advance time exclusively through this package, which makes
+// every run fully deterministic: identical seeds and parameters replay the
+// exact same event trace.
+package simtime
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Common durations, mirroring time.Duration conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Infinity is a sentinel time far beyond any simulated horizon.
+const Infinity Time = 1<<62 - 1
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Micros reports t as a float64 number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Event is a scheduled callback. Events with equal deadlines fire in the
+// order they were scheduled (FIFO by sequence number).
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int // heap index; -1 when not queued
+	dead bool
+}
+
+// At reports the deadline of the event.
+func (e *Event) At() Time { return e.at }
+
+// Clock owns virtual time and the pending-event heap.
+type Clock struct {
+	now    Time
+	seq    uint64
+	heap   []*Event
+	nEvent uint64 // total events dispatched, for trace hashing/debug
+}
+
+// NewClock returns a clock at time zero with an empty event queue.
+func NewClock() *Clock { return &Clock{} }
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Dispatched reports how many events have been dispatched so far.
+func (c *Clock) Dispatched() uint64 { return c.nEvent }
+
+// Pending reports the number of events currently queued.
+func (c *Clock) Pending() int { return len(c.heap) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past (before
+// Now) panics: it would silently reorder causality.
+func (c *Clock) At(at Time, fn func()) *Event {
+	if at < c.now {
+		panic(fmt.Sprintf("simtime: scheduling event at %v before now %v", at, c.now))
+	}
+	c.seq++
+	e := &Event{at: at, seq: c.seq, fn: fn}
+	c.push(e)
+	return e
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (c *Clock) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative delay %v", d))
+	}
+	return c.At(c.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op and reports false.
+func (c *Clock) Cancel(e *Event) bool {
+	if e == nil || e.dead || e.idx < 0 {
+		return false
+	}
+	e.dead = true
+	c.remove(e)
+	return true
+}
+
+// Step dispatches the earliest pending event, advancing time to its
+// deadline. It reports false when the queue is empty.
+func (c *Clock) Step() bool {
+	for len(c.heap) > 0 {
+		e := c.pop()
+		if e.dead {
+			continue
+		}
+		if e.at < c.now {
+			panic("simtime: heap yielded event in the past")
+		}
+		c.now = e.at
+		c.nEvent++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue drains or virtual time would exceed
+// horizon. It returns the time of the last dispatched event.
+func (c *Clock) Run(horizon Time) Time {
+	for len(c.heap) > 0 {
+		if e := c.peek(); e.at > horizon {
+			break
+		}
+		c.Step()
+	}
+	return c.now
+}
+
+// RunUntil dispatches events while pred returns false, stopping at horizon.
+// It reports whether pred became true.
+func (c *Clock) RunUntil(horizon Time, pred func() bool) bool {
+	for !pred() {
+		if len(c.heap) == 0 {
+			return false
+		}
+		if e := c.peek(); e.at > horizon {
+			return false
+		}
+		c.Step()
+	}
+	return true
+}
+
+// heap implementation (min-heap by (at, seq)).
+
+func (c *Clock) less(i, j int) bool {
+	a, b := c.heap[i], c.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (c *Clock) swap(i, j int) {
+	c.heap[i], c.heap[j] = c.heap[j], c.heap[i]
+	c.heap[i].idx = i
+	c.heap[j].idx = j
+}
+
+func (c *Clock) push(e *Event) {
+	e.idx = len(c.heap)
+	c.heap = append(c.heap, e)
+	c.up(e.idx)
+}
+
+func (c *Clock) peek() *Event { return c.heap[0] }
+
+func (c *Clock) pop() *Event {
+	e := c.heap[0]
+	n := len(c.heap) - 1
+	c.swap(0, n)
+	c.heap[n] = nil
+	c.heap = c.heap[:n]
+	if n > 0 {
+		c.down(0)
+	}
+	e.idx = -1
+	return e
+}
+
+func (c *Clock) remove(e *Event) {
+	i := e.idx
+	n := len(c.heap) - 1
+	if i < 0 || i > n || c.heap[i] != e {
+		return
+	}
+	c.swap(i, n)
+	c.heap[n] = nil
+	c.heap = c.heap[:n]
+	if i < n {
+		c.down(i)
+		c.up(i)
+	}
+	e.idx = -1
+}
+
+func (c *Clock) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.less(i, parent) {
+			break
+		}
+		c.swap(i, parent)
+		i = parent
+	}
+}
+
+func (c *Clock) down(i int) {
+	n := len(c.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && c.less(l, least) {
+			least = l
+		}
+		if r < n && c.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		c.swap(i, least)
+		i = least
+	}
+}

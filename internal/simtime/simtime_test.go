@@ -1,0 +1,223 @@
+package simtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockOrdering(t *testing.T) {
+	c := NewClock()
+	var got []Time
+	for _, at := range []Time{50, 10, 30, 20, 40} {
+		at := at
+		c.At(at, func() { got = append(got, c.Now()) })
+	}
+	for c.Step() {
+	}
+	want := []Time{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClockFIFOTieBreak(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(100, func() { order = append(order, i) })
+	}
+	for c.Step() {
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-deadline events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestClockCancel(t *testing.T) {
+	c := NewClock()
+	fired := false
+	e := c.At(10, func() { fired = true })
+	if !c.Cancel(e) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if c.Cancel(e) {
+		t.Fatal("second Cancel returned true")
+	}
+	for c.Step() {
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestClockCancelMiddleOfHeap(t *testing.T) {
+	c := NewClock()
+	var events []*Event
+	var fired []Time
+	for i := 1; i <= 20; i++ {
+		at := Time(i * 10)
+		events = append(events, c.At(at, func() { fired = append(fired, c.Now()) }))
+	}
+	// Cancel every third event.
+	for i := 0; i < len(events); i += 3 {
+		c.Cancel(events[i])
+	}
+	for c.Step() {
+	}
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatalf("events fired out of order after cancellations: %v", fired)
+	}
+	if len(fired) != 13 {
+		t.Fatalf("fired %d events, want 13", len(fired))
+	}
+}
+
+func TestClockAfterChaining(t *testing.T) {
+	c := NewClock()
+	var trace []Time
+	var step func()
+	step = func() {
+		trace = append(trace, c.Now())
+		if len(trace) < 5 {
+			c.After(7, step)
+		}
+	}
+	c.After(7, step)
+	for c.Step() {
+	}
+	for i, at := range trace {
+		if want := Time(7 * (i + 1)); at != want {
+			t.Errorf("chain step %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestClockPastPanics(t *testing.T) {
+	c := NewClock()
+	c.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		c.At(50, func() {})
+	})
+	for c.Step() {
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	c := NewClock()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		c.At(at, func() { fired = append(fired, at) })
+	}
+	c.Run(25)
+	if len(fired) != 2 {
+		t.Fatalf("Run(25) fired %d events, want 2", len(fired))
+	}
+	if c.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", c.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	c := NewClock()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		c.At(Time(i), func() { count++ })
+	}
+	ok := c.RunUntil(Infinity, func() bool { return count >= 4 })
+	if !ok || count != 4 {
+		t.Fatalf("RunUntil stopped at count=%d ok=%v, want 4/true", count, ok)
+	}
+	if c.RunUntil(5, func() bool { return count >= 100 }) {
+		t.Fatal("RunUntil reported success past horizon")
+	}
+}
+
+// Property: the event queue is a faithful priority queue — any random mix of
+// schedules and cancels dispatches the surviving events in (time, insertion)
+// order.
+func TestQuickHeapOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := NewClock()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var want []rec
+		var fired []rec
+		var events []*Event
+		var recs []rec
+		count := int(n%64) + 1
+		for i := 0; i < count; i++ {
+			at := Time(r.Intn(1000))
+			rc := rec{at: at, seq: i}
+			ev := c.At(at, func() { fired = append(fired, rc) })
+			events = append(events, ev)
+			recs = append(recs, rc)
+		}
+		cancelled := map[int]bool{}
+		for i := 0; i < count/3; i++ {
+			k := r.Intn(count)
+			if c.Cancel(events[k]) {
+				cancelled[k] = true
+			}
+		}
+		for i, rc := range recs {
+			if !cancelled[i] {
+				want = append(want, rc)
+			}
+		}
+		sort.SliceStable(want, func(i, j int) bool {
+			if want[i].at != want[j].at {
+				return want[i].at < want[j].at
+			}
+			return want[i].seq < want[j].seq
+		})
+		for c.Step() {
+		}
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2500000, "2.500ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package trace records scheduling events into a bounded ring and checks
+// global invariants over the recorded history — the simulation's analogue
+// of Linux's sched tracepoints. Tests use the checker to prove that no
+// interleaving ever puts one task on two cores or two tasks on one core,
+// and tools can dump the ring to debug a policy.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"skyloft/internal/simtime"
+)
+
+// Kind classifies one scheduling event.
+type Kind uint8
+
+const (
+	// Dispatch: a task takes a core.
+	Dispatch Kind = iota
+	// Preempt: a task is involuntarily descheduled (Arg = ns executed).
+	Preempt
+	// Yield: a task voluntarily cedes the core.
+	Yield
+	// Block: a task parks waiting for a wake.
+	Block
+	// Sleep: a task parks on a timer / async I/O.
+	Sleep
+	// Fault: a task stalls its core in the kernel (Arg = ns).
+	Fault
+	// Exit: a task terminates.
+	Exit
+	// Wake: a task becomes runnable (CPU = -1: external).
+	Wake
+	// AppSwitch: a core switches applications (Arg = new app).
+	AppSwitch
+	// Steal: a core steals a task from another runqueue.
+	Steal
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Dispatch:
+		return "dispatch"
+	case Preempt:
+		return "preempt"
+	case Yield:
+		return "yield"
+	case Block:
+		return "block"
+	case Sleep:
+		return "sleep"
+	case Fault:
+		return "fault"
+	case Exit:
+		return "exit"
+	case Wake:
+		return "wake"
+	case AppSwitch:
+		return "appswitch"
+	case Steal:
+		return "steal"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	At   simtime.Time
+	Kind Kind
+	CPU  int
+	Task int // thread ID (0 when not task-scoped)
+	App  int
+	Arg  int64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%-12v cpu=%-2d app=%-2d task=%-4d %-9s arg=%d",
+		e.At, e.CPU, e.App, e.Task, e.Kind, e.Arg)
+}
+
+// Ring is a bounded event recorder. The zero value is unusable; use New.
+type Ring struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	total   uint64
+	counts  [Steal + 1]uint64
+}
+
+// New creates a ring holding up to capacity events.
+func New(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends an event, evicting the oldest when full.
+func (r *Ring) Record(ev Event) {
+	r.total++
+	if int(ev.Kind) < len(r.counts) {
+		r.counts[ev.Kind]++
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	r.wrapped = true
+}
+
+// Total reports events recorded over the ring's lifetime.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Count reports lifetime events of one kind.
+func (r *Ring) Count(k Kind) uint64 {
+	if int(k) >= len(r.counts) {
+		return 0
+	}
+	return r.counts[k]
+}
+
+// Events returns the retained window in chronological order.
+func (r *Ring) Events() []Event {
+	if !r.wrapped {
+		return append([]Event(nil), r.buf...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dump writes the retained window as text.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, ev := range r.Events() {
+		if _, err := fmt.Fprintln(w, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Validate checks the core scheduling invariants over a chronological
+// event sequence:
+//
+//  1. a core runs at most one task at a time (Dispatch on an occupied core
+//     without an intervening off-CPU event is an error);
+//  2. a task runs on at most one core at a time;
+//  3. off-CPU events name the task that actually occupies that core;
+//  4. nothing is dispatched after its Exit.
+//
+// It returns the first violation, or nil.
+func Validate(events []Event) error {
+	onCore := map[int]int{}  // cpu -> task
+	taskOn := map[int]int{}  // task -> cpu
+	exited := map[int]bool{} // task -> true
+	for i, ev := range events {
+		switch ev.Kind {
+		case Dispatch:
+			if exited[ev.Task] {
+				return fmt.Errorf("event %d: %v: dispatch of exited task", i, ev)
+			}
+			if cur, busy := onCore[ev.CPU]; busy && cur != ev.Task {
+				return fmt.Errorf("event %d: %v: core already runs task %d", i, ev, cur)
+			}
+			if cpu, running := taskOn[ev.Task]; running && cpu != ev.CPU {
+				return fmt.Errorf("event %d: %v: task already on core %d", i, ev, cpu)
+			}
+			onCore[ev.CPU] = ev.Task
+			taskOn[ev.Task] = ev.CPU
+		case Preempt, Yield, Block, Sleep, Exit:
+			cur, busy := onCore[ev.CPU]
+			if !busy {
+				return fmt.Errorf("event %d: %v: off-CPU event on idle core", i, ev)
+			}
+			if cur != ev.Task {
+				return fmt.Errorf("event %d: %v: core runs task %d, not %d", i, ev, cur, ev.Task)
+			}
+			delete(onCore, ev.CPU)
+			delete(taskOn, ev.Task)
+			if ev.Kind == Exit {
+				exited[ev.Task] = true
+			}
+		case Wake, AppSwitch, Steal, Fault:
+			// Informational; no ownership change.
+		}
+	}
+	return nil
+}
+
+// Stats summarises a validated event window.
+type Stats struct {
+	Dispatches, Preempts, Yields, Blocks, Wakes, AppSwitches, Steals uint64
+}
+
+// Summarise counts event kinds in a window.
+func Summarise(events []Event) Stats {
+	var s Stats
+	for _, ev := range events {
+		switch ev.Kind {
+		case Dispatch:
+			s.Dispatches++
+		case Preempt:
+			s.Preempts++
+		case Yield:
+			s.Yields++
+		case Block:
+			s.Blocks++
+		case Wake:
+			s.Wakes++
+		case AppSwitch:
+			s.AppSwitches++
+		case Steal:
+			s.Steals++
+		}
+	}
+	return s
+}

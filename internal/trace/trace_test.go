@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"skyloft/internal/simtime"
+)
+
+func TestRingRetainsAndWraps(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: simtime.Time(i), Kind: Dispatch, Task: i})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Task != 6+i {
+			t.Fatalf("chronology broken: %v", evs)
+		}
+	}
+	if r.Count(Dispatch) != 10 {
+		t.Fatalf("Count(Dispatch) = %d", r.Count(Dispatch))
+	}
+}
+
+func TestValidateAcceptsCleanSchedule(t *testing.T) {
+	evs := []Event{
+		{Kind: Dispatch, CPU: 0, Task: 1},
+		{Kind: Preempt, CPU: 0, Task: 1},
+		{Kind: Dispatch, CPU: 0, Task: 2},
+		{Kind: Dispatch, CPU: 1, Task: 1},
+		{Kind: Block, CPU: 1, Task: 1},
+		{Kind: Wake, CPU: -1, Task: 1},
+		{Kind: Dispatch, CPU: 1, Task: 1},
+		{Kind: Exit, CPU: 1, Task: 1},
+		{Kind: Yield, CPU: 0, Task: 2},
+	}
+	if err := Validate(evs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsDoubleOccupancy(t *testing.T) {
+	evs := []Event{
+		{Kind: Dispatch, CPU: 0, Task: 1},
+		{Kind: Dispatch, CPU: 0, Task: 2},
+	}
+	if err := Validate(evs); err == nil {
+		t.Fatal("two tasks on one core accepted")
+	}
+}
+
+func TestValidateRejectsTaskOnTwoCores(t *testing.T) {
+	evs := []Event{
+		{Kind: Dispatch, CPU: 0, Task: 1},
+		{Kind: Dispatch, CPU: 1, Task: 1},
+	}
+	if err := Validate(evs); err == nil {
+		t.Fatal("one task on two cores accepted")
+	}
+}
+
+func TestValidateRejectsGhostOffCPU(t *testing.T) {
+	if err := Validate([]Event{{Kind: Yield, CPU: 3, Task: 9}}); err == nil {
+		t.Fatal("off-CPU event on idle core accepted")
+	}
+	evs := []Event{
+		{Kind: Dispatch, CPU: 0, Task: 1},
+		{Kind: Block, CPU: 0, Task: 2},
+	}
+	if err := Validate(evs); err == nil {
+		t.Fatal("off-CPU event naming the wrong task accepted")
+	}
+}
+
+func TestValidateRejectsZombieDispatch(t *testing.T) {
+	evs := []Event{
+		{Kind: Dispatch, CPU: 0, Task: 1},
+		{Kind: Exit, CPU: 0, Task: 1},
+		{Kind: Dispatch, CPU: 0, Task: 1},
+	}
+	if err := Validate(evs); err == nil {
+		t.Fatal("dispatch after exit accepted")
+	}
+}
+
+func TestDumpAndStrings(t *testing.T) {
+	r := New(8)
+	r.Record(Event{Kind: Dispatch, CPU: 1, Task: 42, App: 2})
+	r.Record(Event{Kind: AppSwitch, CPU: 1, Arg: 3})
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "dispatch") || !strings.Contains(out, "appswitch") {
+		t.Fatalf("dump missing kinds:\n%s", out)
+	}
+	for k := Dispatch; k <= Steal; k++ {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	s := Summarise([]Event{
+		{Kind: Dispatch}, {Kind: Dispatch}, {Kind: Preempt},
+		{Kind: Wake}, {Kind: Steal}, {Kind: AppSwitch}, {Kind: Block},
+	})
+	if s.Dispatches != 2 || s.Preempts != 1 || s.Wakes != 1 ||
+		s.Steals != 1 || s.AppSwitches != 1 || s.Blocks != 1 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+}

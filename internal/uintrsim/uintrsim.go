@@ -1,0 +1,377 @@
+// Package uintrsim is a register-accurate software model of Intel User
+// Interrupts (UINTR, Sapphire Rapids) as described in the paper's §3.2 and
+// the Intel SDM ch. "User Interrupts". It substitutes for the real hardware
+// feature, which Go cannot reach: the semantics modelled here — posted-
+// interrupt descriptors, suppressed notifications, vectored user delivery,
+// and the self-IPI trick that delegates LAPIC timer interrupts to user
+// space — are exactly what Skyloft's preemption mechanisms are built from.
+package uintrsim
+
+import (
+	"fmt"
+
+	"skyloft/internal/cycles"
+	"skyloft/internal/hw"
+	"skyloft/internal/simtime"
+)
+
+// UPID is a User Posted-Interrupt Descriptor: the memory structure a
+// receiver shares with its senders.
+type UPID struct {
+	PIR  uint64 // posted-interrupt requests, one bit per user vector
+	ON   bool   // outstanding notification
+	SN   bool   // suppress notification: set → SENDUIPI posts without an IPI
+	NV   uint8  // notification vector (the physical IPI vector used)
+	NDST int    // notification destination: target core ID
+}
+
+// UITTEntry maps a SENDUIPI operand to a receiver.
+type UITTEntry struct {
+	Valid  bool
+	UPID   *UPID
+	Vector uint8 // user vector to post (0..63)
+}
+
+// Handler is the user-interrupt handler: vector is the user vector from the
+// UIRR, ranFor is how much of the interrupted run segment had executed
+// (0 when the core was not running a segment). The handler owns the core
+// until it calls Receiver.UIRet.
+type Handler func(vector uint8, ranFor simtime.Duration)
+
+// Receiver is the per-core UINTR receive state (UINV, UIHANDLER, UIRR and
+// the thread's UPID). Skyloft binds one receiving kernel thread per core, so
+// modelling the state per core matches the deployment.
+type Receiver struct {
+	core    *hw.Core
+	cost    cycles.Model
+	upid    *UPID
+	uinv    uint8
+	uirr    uint64
+	handler Handler
+
+	// legacy receives interrupts whose vector does not match UINV (they
+	// would be delivered to the kernel on real hardware).
+	legacy func(hw.IRQ)
+
+	delivered uint64
+	dropped   uint64 // vector matched UINV but PIR was empty (§3.2 trap)
+}
+
+// NewReceiver installs UINTR receive state on core and registers it as the
+// core's interrupt handler.
+func NewReceiver(core *hw.Core, cost cycles.Model) *Receiver {
+	r := &Receiver{core: core, cost: cost}
+	core.SetIRQHandler(r.dispatch)
+	return r
+}
+
+// Core reports the core this receiver is bound to.
+func (r *Receiver) Core() *hw.Core { return r.core }
+
+// UPID reports the receiver's descriptor.
+func (r *Receiver) UPID() *UPID { return r.upid }
+
+// Delivered and Dropped report delivery statistics.
+func (r *Receiver) Delivered() uint64 { return r.delivered }
+func (r *Receiver) Dropped() uint64   { return r.dropped }
+
+// Register configures the receiver: interrupt vector uinv, handler fn, and
+// allocates the UPID. This models the UINV/UIHANDLER MSR writes plus UPID
+// setup that the kernel performs at uintr_register_handler time.
+func (r *Receiver) Register(uinv uint8, fn Handler) *UPID {
+	r.uinv = uinv
+	r.handler = fn
+	r.upid = &UPID{NV: uinv, NDST: r.core.ID}
+	return r.upid
+}
+
+// SetLegacyHandler installs the kernel-path handler for non-UINV vectors.
+func (r *Receiver) SetLegacyHandler(fn func(hw.IRQ)) { r.legacy = fn }
+
+// SetSN sets or clears the suppress-notification bit (step 1 of the §3.2
+// timer-delegation recipe).
+func (r *Receiver) SetSN(v bool) {
+	if r.upid == nil {
+		panic("uintrsim: SetSN before Register")
+	}
+	r.upid.SN = v
+}
+
+// dispatch is the core's physical interrupt entry point.
+func (r *Receiver) dispatch(irq hw.IRQ) {
+	// Identification (§3.2 step 1): only the UINV vector takes the user-
+	// interrupt path.
+	if r.upid == nil || irq.Vector != r.uinv {
+		if r.legacy != nil {
+			r.legacy(irq)
+			return
+		}
+		r.core.EndIRQ() // spurious
+		return
+	}
+	// Processing (§3.2 step 2): fold PIR into UIRR. If the PIR is empty —
+	// which is precisely what happens for a raw hardware timer interrupt
+	// without the SN self-IPI trick — there is no user interrupt to
+	// deliver and the event is lost to user space.
+	if r.upid.PIR == 0 {
+		r.dropped++
+		r.core.EndIRQ()
+		return
+	}
+	r.uirr |= r.upid.PIR
+	r.upid.PIR = 0
+	r.upid.ON = false
+
+	// Delivery: save state, jump to the handler. The interrupted run
+	// segment (if any) is stopped and its progress reported.
+	var ranFor simtime.Duration
+	if r.core.Running() {
+		ranFor = r.core.StopRun()
+	}
+	vec := r.takeVector()
+	recvCost := r.receiveCost(irq)
+	r.delivered++
+	r.core.Exec(recvCost, func() {
+		r.handler(vec, ranFor)
+	})
+}
+
+// takeVector pops the highest-priority (highest-numbered) set bit from the
+// UIRR, matching hardware's priority order.
+func (r *Receiver) takeVector() uint8 {
+	if r.uirr == 0 {
+		panic("uintrsim: delivery with empty UIRR")
+	}
+	for v := 63; v >= 0; v-- {
+		if r.uirr&(1<<uint(v)) != 0 {
+			r.uirr &^= 1 << uint(v)
+			return uint8(v)
+		}
+	}
+	panic("unreachable")
+}
+
+func (r *Receiver) receiveCost(irq hw.IRQ) simtime.Duration {
+	if irq.From == hw.TimerSource {
+		return r.cost.UserTimerReceive
+	}
+	if irq.From < 0 {
+		return r.cost.UserIPIReceive // device MSI or other external source
+	}
+	if !r.core.Machine().SameSocket(irq.From, r.core.ID) {
+		return r.cost.UserIPIReceiveXNUMA
+	}
+	return r.cost.UserIPIReceive
+}
+
+// UIRet ends the handler (the UIRET instruction). Vectors still set in the
+// UIRR deliver back to back before control returns to user code — without
+// a new recognition step, so bits posted into the PIR meanwhile (e.g. the
+// handler's own SN-suppressed rearm) stay in the PIR until the next
+// notification arrives, exactly as on hardware.
+func (r *Receiver) UIRet() {
+	if r.uirr != 0 {
+		vec := r.takeVector()
+		r.delivered++
+		var ranFor simtime.Duration
+		if r.core.Running() {
+			ranFor = r.core.StopRun()
+		}
+		r.core.Exec(0, func() { r.handler(vec, ranFor) })
+		return
+	}
+	r.core.EndIRQ()
+}
+
+// Sender is the per-core send state: the UITT plus the SENDUIPI operation.
+type Sender struct {
+	core *hw.Core
+	cost cycles.Model
+	uitt []UITTEntry
+	sent uint64
+}
+
+// NewSender creates send state for core.
+func NewSender(core *hw.Core, cost cycles.Model) *Sender {
+	return &Sender{core: core, cost: cost}
+}
+
+// Connect appends a UITT entry targeting the receiver's UPID with the given
+// user vector and returns its index (the SENDUIPI operand). This models the
+// uintr_register_sender / pidfd_get flow of §4.1.
+func (s *Sender) Connect(upid *UPID, vector uint8) int {
+	if vector > 63 {
+		panic("uintrsim: user vector must be in 0..63")
+	}
+	s.uitt = append(s.uitt, UITTEntry{Valid: true, UPID: upid, Vector: vector})
+	return len(s.uitt) - 1
+}
+
+// Sent reports how many SENDUIPIs actually generated an IPI.
+func (s *Sender) Sent() uint64 { return s.sent }
+
+// SendCost reports the sender-side cost of SENDUIPI to UITT entry idx
+// (charged to the sending core by the caller, since senders typically batch
+// it inside scheduler code).
+func (s *Sender) SendCost(idx int) simtime.Duration {
+	e := s.entry(idx)
+	if !s.core.Machine().SameSocket(s.core.ID, e.UPID.NDST) {
+		return s.cost.UserIPISendXNUMA
+	}
+	return s.cost.UserIPISend
+}
+
+// SendUIPI executes SENDUIPI with UITT index idx: posts the vector into the
+// target UPID's PIR and — unless SN is set — sends a physical IPI with the
+// notification vector to the destination core. It reports whether an IPI
+// was generated. The sender-side cost is NOT charged here; use SendCost.
+func (s *Sender) SendUIPI(idx int) bool {
+	e := s.entry(idx)
+	e.UPID.PIR |= 1 << e.Vector
+	if e.UPID.SN {
+		return false // suppressed: posted but no notification
+	}
+	if e.UPID.ON {
+		return false // notification already outstanding
+	}
+	e.UPID.ON = true
+	s.sent++
+	m := s.core.Machine()
+	delay := s.cost.UserIPIDeliver
+	if !m.SameSocket(s.core.ID, e.UPID.NDST) {
+		delay = s.cost.UserIPIDeliverXNUMA
+	}
+	m.SendIPI(s.core.ID, e.UPID.NDST, e.UPID.NV, delay, nil)
+	return true
+}
+
+func (s *Sender) entry(idx int) *UITTEntry {
+	if idx < 0 || idx >= len(s.uitt) {
+		panic(fmt.Sprintf("uintrsim: invalid UITT index %d", idx))
+	}
+	e := &s.uitt[idx]
+	if !e.Valid {
+		panic(fmt.Sprintf("uintrsim: UITT entry %d invalid", idx))
+	}
+	return e
+}
+
+// TimerDelegation wires a core's LAPIC timer into user space following the
+// §3.2 recipe: (1) set SN in the local UPID, (2) self-SENDUIPI once so the
+// PIR is non-empty for the first hardware interrupt, (3) the handler must
+// re-execute the self-SENDUIPI (RearmCost) before UIRET so the next timer
+// interrupt is also recognised.
+type TimerDelegation struct {
+	recv    *Receiver
+	selfIdx int
+	sender  *Sender
+}
+
+// DelegateTimer performs steps (1) and (2) on the receiver's core and arms
+// the LAPIC timer at hz with the receiver's UINV vector.
+func DelegateTimer(r *Receiver, s *Sender, hz int64) *TimerDelegation {
+	if r.upid == nil {
+		panic("uintrsim: DelegateTimer before Register")
+	}
+	r.SetSN(true)
+	idx := s.Connect(r.upid, TimerUserVector)
+	s.SendUIPI(idx) // SN set → posts PIR without an IPI
+	r.core.Timer.StartHz(hz, r.uinv)
+	return &TimerDelegation{recv: r, selfIdx: idx, sender: s}
+}
+
+// TimerUserVector is the user vector Skyloft posts for delegated timer
+// interrupts.
+const TimerUserVector uint8 = 62
+
+// Rearm re-posts the timer vector (the handler's extra SENDUIPI, ~123
+// cycles) and reports the cost the handler must charge.
+func (d *TimerDelegation) Rearm() simtime.Duration {
+	d.sender.SendUIPI(d.selfIdx)
+	return d.recv.cost.SelfUIPIRearm
+}
+
+// SetHz reconfigures the delegated timer frequency (the kernel module's
+// skyloft_timer_set_hz).
+func (d *TimerDelegation) SetHz(hz int64) {
+	d.recv.core.Timer.StartHz(hz, d.recv.uinv)
+}
+
+// Stop disarms the delegated timer.
+func (d *TimerDelegation) Stop() { d.recv.core.Timer.Stop() }
+
+// DelegateTimerDeadline prepares one-shot (TSC-deadline style) timer
+// delegation — the §6 "kernel-bypass timer reset" extension: the UPID is
+// initialised exactly as in DelegateTimer, but the hardware timer is left
+// unarmed; the scheduler programs each deadline directly with ArmDeadline,
+// with no kernel involvement (the local APIC deadline register is mapped
+// into the application, or Intel's upcoming User-Timer Events are used).
+func DelegateTimerDeadline(r *Receiver, s *Sender) *TimerDelegation {
+	if r.upid == nil {
+		panic("uintrsim: DelegateTimerDeadline before Register")
+	}
+	r.SetSN(true)
+	idx := s.Connect(r.upid, TimerUserVector)
+	s.SendUIPI(idx) // SN set → posts PIR without an IPI
+	return &TimerDelegation{recv: r, selfIdx: idx, sender: s}
+}
+
+// ArmDeadline programs the next user timer interrupt to fire after d — a
+// single register write from user space (no ioctl). Re-arming overwrites
+// any pending deadline.
+func (d *TimerDelegation) ArmDeadline(dur simtime.Duration) {
+	d.recv.core.Timer.ArmOneShot(dur, d.recv.uinv)
+}
+
+// Disarm cancels a pending deadline.
+func (d *TimerDelegation) Disarm() { d.recv.core.Timer.Stop() }
+
+// MSISource models a device's Message Signaled Interrupts delegated to
+// user space (§6 "peripheral interrupts"): the device posts into the
+// target core's UPID and raises the notification vector, exactly like
+// SENDUIPI but originating from the I/O fabric.
+type MSISource struct {
+	m       *hw.Machine
+	targets []msiTarget
+	cost    cycles.Model
+	posted  uint64
+}
+
+type msiTarget struct {
+	upid   *UPID
+	vector uint8
+}
+
+// NewMSISource creates a device-side interrupt source on machine m.
+func NewMSISource(m *hw.Machine, cost cycles.Model) *MSISource {
+	return &MSISource{m: m, cost: cost}
+}
+
+// Connect routes one of the device's interrupt messages to the receiver's
+// UPID with the given user vector, returning the message index.
+func (s *MSISource) Connect(upid *UPID, vector uint8) int {
+	if vector > 63 {
+		panic("uintrsim: user vector must be in 0..63")
+	}
+	s.targets = append(s.targets, msiTarget{upid: upid, vector: vector})
+	return len(s.targets) - 1
+}
+
+// Posted reports delivered MSI notifications.
+func (s *MSISource) Posted() uint64 { return s.posted }
+
+// Raise posts message idx: PIR update plus a physical interrupt to the
+// destination core after the device-to-LAPIC delay.
+func (s *MSISource) Raise(idx int) {
+	t := s.targets[idx]
+	t.upid.PIR |= 1 << t.vector
+	if t.upid.SN || t.upid.ON {
+		return
+	}
+	t.upid.ON = true
+	s.posted++
+	s.m.SendIPI(DeviceSource, t.upid.NDST, t.upid.NV, s.cost.UserIPIDeliver, nil)
+}
+
+// DeviceSource is the IRQ.From value for device-originated interrupts.
+const DeviceSource = -3

@@ -1,0 +1,246 @@
+package uintrsim
+
+import (
+	"testing"
+
+	"skyloft/internal/cycles"
+	"skyloft/internal/hw"
+	"skyloft/internal/simtime"
+)
+
+func newMachine(cores int) *hw.Machine {
+	cfg := hw.DefaultConfig()
+	cfg.Cores = cores
+	cfg.CoresPerSocket = (cores + 1) / 2
+	return hw.NewMachine(cfg)
+}
+
+func TestSendUIPIDelivers(t *testing.T) {
+	m := newMachine(4)
+	cost := cycles.Default()
+	recv := NewReceiver(m.Cores[1], cost)
+	var gotVec uint8 = 255
+	var at simtime.Time
+	upid := recv.Register(0xEC, func(vec uint8, ranFor simtime.Duration) {
+		gotVec, at = vec, m.Now()
+		recv.UIRet()
+	})
+	send := NewSender(m.Cores[0], cost)
+	idx := send.Connect(upid, 7)
+	if !send.SendUIPI(idx) {
+		t.Fatal("SendUIPI did not generate an IPI")
+	}
+	m.Clock.Run(simtime.Infinity)
+	if gotVec != 7 {
+		t.Fatalf("handler vector = %d, want 7", gotVec)
+	}
+	// Delivery latency + receive cost both elapse before the handler body.
+	want := cost.UserIPIDeliver + cost.UserIPIReceive
+	if at != want {
+		t.Fatalf("handler entered at %v, want %v", at, want)
+	}
+}
+
+func TestSNSuppressesIPI(t *testing.T) {
+	m := newMachine(2)
+	cost := cycles.Default()
+	recv := NewReceiver(m.Cores[1], cost)
+	fired := false
+	upid := recv.Register(0xEC, func(uint8, simtime.Duration) {
+		fired = true
+		recv.UIRet()
+	})
+	recv.SetSN(true)
+	send := NewSender(m.Cores[0], cost)
+	idx := send.Connect(upid, 3)
+	if send.SendUIPI(idx) {
+		t.Fatal("SendUIPI generated an IPI despite SN")
+	}
+	m.Clock.Run(simtime.Infinity)
+	if fired {
+		t.Fatal("handler fired without a notification IPI")
+	}
+	if upid.PIR != 1<<3 {
+		t.Fatalf("PIR = %b, want bit 3 set", upid.PIR)
+	}
+}
+
+func TestTimerWithoutDelegationIsDropped(t *testing.T) {
+	// §3.2: setting UINV alone is insufficient — a hardware timer interrupt
+	// finds an empty PIR and no user interrupt is delivered.
+	m := newMachine(1)
+	cost := cycles.Default()
+	recv := NewReceiver(m.Cores[0], cost)
+	fired := 0
+	recv.Register(0xEF, func(uint8, simtime.Duration) {
+		fired++
+		recv.UIRet()
+	})
+	m.Cores[0].Timer.Start(10*simtime.Microsecond, 0xEF)
+	m.Clock.Run(100 * simtime.Microsecond)
+	m.Cores[0].Timer.Stop()
+	if fired != 0 {
+		t.Fatalf("handler fired %d times without SN trick", fired)
+	}
+	if recv.Dropped() == 0 {
+		t.Fatal("no drops recorded")
+	}
+}
+
+func TestTimerDelegationDelivers(t *testing.T) {
+	m := newMachine(1)
+	cost := cycles.Default()
+	recv := NewReceiver(m.Cores[0], cost)
+	send := NewSender(m.Cores[0], cost)
+	var ticks []simtime.Time
+	var deleg *TimerDelegation
+	recv.Register(0xEF, func(vec uint8, ranFor simtime.Duration) {
+		if vec != TimerUserVector {
+			t.Errorf("vector = %d, want %d", vec, TimerUserVector)
+		}
+		ticks = append(ticks, m.Now())
+		rearm := deleg.Rearm() // Listing 1 line 5: reset PIR for next timer
+		recv.Core().Exec(rearm, func() { recv.UIRet() })
+	})
+	deleg = DelegateTimer(recv, send, 100_000) // 100 kHz → 10 µs period
+	m.Clock.Run(55 * simtime.Microsecond)
+	deleg.Stop()
+	if len(ticks) != 5 {
+		t.Fatalf("delivered %d timer interrupts, want 5 (ticks=%v)", len(ticks), ticks)
+	}
+	if recv.Dropped() != 0 {
+		t.Fatalf("%d drops with delegation active", recv.Dropped())
+	}
+}
+
+func TestTimerDelegationWithoutRearmLosesNextTick(t *testing.T) {
+	m := newMachine(1)
+	cost := cycles.Default()
+	recv := NewReceiver(m.Cores[0], cost)
+	send := NewSender(m.Cores[0], cost)
+	fired := 0
+	recv.Register(0xEF, func(uint8, simtime.Duration) {
+		fired++
+		// Forget to rearm: next hardware tick finds PIR empty.
+		recv.UIRet()
+	})
+	DelegateTimer(recv, send, 100_000)
+	m.Clock.Run(100 * simtime.Microsecond)
+	m.Cores[0].Timer.Stop()
+	if fired != 1 {
+		t.Fatalf("fired %d times, want exactly 1 (no rearm)", fired)
+	}
+	if recv.Dropped() == 0 {
+		t.Fatal("subsequent ticks should have been dropped")
+	}
+}
+
+func TestPreemptionReportsProgress(t *testing.T) {
+	m := newMachine(4) // cores 0 and 1 share a socket
+	cost := cycles.Default()
+	recv := NewReceiver(m.Cores[1], cost)
+	var ran simtime.Duration = -1
+	upid := recv.Register(0xEC, func(vec uint8, ranFor simtime.Duration) {
+		ran = ranFor
+		recv.UIRet()
+	})
+	send := NewSender(m.Cores[0], cost)
+	idx := send.Connect(upid, 1)
+	m.Cores[1].StartRun(100*simtime.Microsecond, func() { t.Error("run not preempted") })
+	m.Clock.At(30*simtime.Microsecond, func() { send.SendUIPI(idx) })
+	m.Clock.Run(simtime.Infinity)
+	want := 30*simtime.Microsecond + cost.UserIPIDeliver
+	if ran != want {
+		t.Fatalf("ranFor = %v, want %v", ran, want)
+	}
+}
+
+func TestCrossNUMACosts(t *testing.T) {
+	m := newMachine(4) // 2 per socket: cores 0,1 socket0; 2,3 socket1
+	cost := cycles.Default()
+	recv := NewReceiver(m.Cores[3], cost)
+	var at simtime.Time
+	upid := recv.Register(0xEC, func(uint8, simtime.Duration) {
+		at = m.Now()
+		recv.UIRet()
+	})
+	send := NewSender(m.Cores[0], cost)
+	idx := send.Connect(upid, 1)
+	if got, want := send.SendCost(idx), cost.UserIPISendXNUMA; got != want {
+		t.Fatalf("xNUMA send cost %v, want %v", got, want)
+	}
+	send.SendUIPI(idx)
+	m.Clock.Run(simtime.Infinity)
+	want := cost.UserIPIDeliverXNUMA + cost.UserIPIReceiveXNUMA
+	if at != want {
+		t.Fatalf("xNUMA handler at %v, want %v", at, want)
+	}
+}
+
+func TestMultipleVectorsDeliveredHighFirst(t *testing.T) {
+	m := newMachine(2)
+	cost := cycles.Default()
+	recv := NewReceiver(m.Cores[1], cost)
+	var order []uint8
+	upid := recv.Register(0xEC, func(vec uint8, _ simtime.Duration) {
+		order = append(order, vec)
+		recv.UIRet()
+	})
+	recv.SetSN(true) // post two vectors silently, then notify
+	send := NewSender(m.Cores[0], cost)
+	i3 := send.Connect(upid, 3)
+	i9 := send.Connect(upid, 9)
+	send.SendUIPI(i3)
+	send.SendUIPI(i9)
+	recv.SetSN(false)
+	i1 := send.Connect(upid, 1)
+	send.SendUIPI(i1)
+	m.Clock.Run(simtime.Infinity)
+	if len(order) != 3 || order[0] != 9 || order[1] != 3 || order[2] != 1 {
+		t.Fatalf("delivery order = %v, want [9 3 1]", order)
+	}
+}
+
+func TestLegacyVectorFallsThrough(t *testing.T) {
+	m := newMachine(1)
+	cost := cycles.Default()
+	recv := NewReceiver(m.Cores[0], cost)
+	recv.Register(0xEC, func(uint8, simtime.Duration) {
+		t.Error("user handler got legacy vector")
+		recv.UIRet()
+	})
+	legacy := 0
+	recv.SetLegacyHandler(func(irq hw.IRQ) {
+		legacy++
+		m.Cores[0].EndIRQ()
+	})
+	m.Cores[0].Interrupt(hw.IRQ{Vector: 0x20, From: hw.TimerSource})
+	m.Clock.Run(simtime.Infinity)
+	if legacy != 1 {
+		t.Fatalf("legacy handler ran %d times, want 1", legacy)
+	}
+}
+
+func TestONBitCoalescesNotifications(t *testing.T) {
+	m := newMachine(2)
+	cost := cycles.Default()
+	recv := NewReceiver(m.Cores[1], cost)
+	handled := 0
+	upid := recv.Register(0xEC, func(uint8, simtime.Duration) {
+		handled++
+		recv.UIRet()
+	})
+	send := NewSender(m.Cores[0], cost)
+	idx := send.Connect(upid, 5)
+	send.SendUIPI(idx)
+	if send.SendUIPI(idx) {
+		t.Fatal("second SENDUIPI generated an IPI despite ON outstanding")
+	}
+	m.Clock.Run(simtime.Infinity)
+	if handled != 1 {
+		t.Fatalf("handled = %d, want 1 (coalesced)", handled)
+	}
+	if send.Sent() != 1 {
+		t.Fatalf("Sent() = %d, want 1", send.Sent())
+	}
+}
