@@ -1,0 +1,34 @@
+GO ?= go
+
+# Tier-1+ gate: everything CI (and the next contributor) should run before
+# merging. `vet` + `build` + the full test suite under the race detector
+# (the parallel sweep runner makes -race meaningful), then a short
+# benchmark smoke to catch accidental allocation regressions in the event
+# core.
+.PHONY: check
+check: vet build race bench-smoke
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+# Tier-1 as defined in ROADMAP.md.
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+# A handful of iterations only — this is a smoke test that the benchmarks
+# still compile and run, not a measurement. Real numbers: see EXPERIMENTS.md
+# ("Event-core performance") and `go test -bench . -benchmem`.
+.PHONY: bench-smoke
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkClock' -benchtime 100x -benchmem ./internal/simtime/
+	$(GO) test -run '^$$' -bench 'BenchmarkFig7Sweep$$' -benchtime 1x -benchmem ./internal/bench/

@@ -29,7 +29,9 @@ func main() {
 	load := flag.Float64("load", 0.6, "offered load as a fraction of capacity")
 	dur := flag.Duration("dur", 200*time.Millisecond, "measurement window (virtual)")
 	seed := flag.Uint64("seed", 1, "random seed")
+	par := flag.Int("par", 0, "max parallel trials (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+	bench.SetSweepWorkers(*par)
 
 	d := simtime.Duration(dur.Nanoseconds())
 

@@ -25,7 +25,9 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	seed := flag.Uint64("seed", 1, "random seed")
+	par := flag.Int("par", 0, "max parallel trials (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+	bench.SetSweepWorkers(*par)
 
 	start := time.Now()
 

@@ -28,8 +28,10 @@ func main() {
 	quantum := flag.Duration("quantum", 30*time.Microsecond, "preemption quantum")
 	dur := flag.Duration("dur", 300*time.Millisecond, "measurement window (virtual)")
 	seed := flag.Uint64("seed", 1, "random seed")
+	par := flag.Int("par", 0, "max parallel trials (0 = GOMAXPROCS, 1 = serial)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	flag.Parse()
+	bench.SetSweepWorkers(*par)
 
 	q := simtime.Duration(quantum.Nanoseconds())
 	d := simtime.Duration(dur.Nanoseconds())

@@ -5,9 +5,21 @@
 // system, as in the paper.
 package apps
 
-import "skyloft/internal/sched"
+import (
+	"skyloft/internal/sched"
+	"skyloft/internal/simtime"
+)
 
 // System hosts threads. core.App and ksched.Kernel both satisfy it.
 type System interface {
 	Start(name string, body sched.Func) *sched.Thread
+}
+
+// QuickSystem is implemented by systems that can host the fixed request
+// body "run the service time, then report completion and exit" without a
+// backing goroutine — the thread-per-request fast path used by the
+// open-loop experiments, where millions of short threads are created but
+// each only ever issues a single Run.
+type QuickSystem interface {
+	StartQuick(name string, service simtime.Duration, onDone func(now simtime.Time)) *sched.Thread
 }

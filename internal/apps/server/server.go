@@ -89,11 +89,55 @@ func Feed(g *loadgen.Gen, clock loadgen.Clock, nic *netsim.NIC, limit uint64) {
 	})
 }
 
+// quickReq is a pooled in-flight request record for the FeedDirect quick
+// path: its bound done method replaces the two closures a generic Start
+// body would need, so a request costs zero allocations once the pool warms.
+type quickReq struct {
+	rec     *loadgen.Recorder
+	pool    *quickReqPool
+	arrive  simtime.Time
+	service simtime.Duration
+	class   int
+	next    *quickReq
+	fire    func(now simtime.Time) // bound done method, allocated once
+}
+
+type quickReqPool struct{ free *quickReq }
+
+func (p *quickReqPool) get(rec *loadgen.Recorder, r loadgen.Request) *quickReq {
+	q := p.free
+	if q != nil {
+		p.free = q.next
+	} else {
+		q = &quickReq{pool: p}
+		q.fire = q.done
+	}
+	q.rec, q.arrive, q.service, q.class = rec, r.At, r.Service, r.Class
+	return q
+}
+
+func (q *quickReq) done(now simtime.Time) {
+	rec, arrive, service, class := q.rec, q.arrive, q.service, q.class
+	q.rec = nil
+	q.next = q.pool.free
+	q.pool.free = q
+	rec.Record(now, arrive, service, class)
+}
+
 // FeedDirect connects a load generator directly to a System, bypassing the
 // NIC (the Fig. 7 synthetic experiments, where the load generator runs on
-// the dispatcher core): each request becomes a fresh thread.
+// the dispatcher core): each request becomes a fresh thread. Systems that
+// implement apps.QuickSystem (the Skyloft engine) run requests without a
+// backing goroutine, through a pooled completion record.
 func FeedDirect(g *loadgen.Gen, clock loadgen.Clock, sys apps.System,
 	rec *loadgen.Recorder, limit uint64) {
+	if qs, ok := sys.(apps.QuickSystem); ok {
+		var pool quickReqPool
+		g.Run(clock, limit, func(r loadgen.Request) {
+			qs.StartQuick("req", r.Service, pool.get(rec, r).fire)
+		})
+		return
+	}
 	g.Run(clock, limit, func(r loadgen.Request) {
 		arrive := r.At
 		g := r

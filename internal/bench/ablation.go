@@ -30,10 +30,20 @@ func newScaledMachine(scale float64) *hw.Machine {
 // constants: the ratio should stay > 1 across a wide range.
 func CostSensitivity(scales []float64, dur simtime.Duration, seed uint64) map[float64]float64 {
 	load := 0.85 * Capacity(Fig7Workers, server.DispersiveClasses())
-	out := make(map[float64]float64)
+	type trial struct {
+		scale float64
+		sys   SynthSystem
+	}
+	var trials []trial
 	for _, scale := range scales {
-		sky := runScaledSynth(SynthSkyloft, scale, load, dur, seed)
-		ghost := runScaledSynth(SynthGhost, scale, load, dur, seed)
+		trials = append(trials, trial{scale, SynthSkyloft}, trial{scale, SynthGhost})
+	}
+	points := Sweep(trials, func(t trial) LoadPoint {
+		return runScaledSynth(t.sys, t.scale, load, dur, seed)
+	})
+	out := make(map[float64]float64)
+	for i, scale := range scales {
+		sky, ghost := points[2*i], points[2*i+1]
 		if sky.P99 > 0 {
 			out[scale] = ghost.P99 / sky.P99
 		}

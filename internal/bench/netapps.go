@@ -164,16 +164,20 @@ func Fig8a(loads []float64, dur simtime.Duration, seed uint64) *stats.Table {
 	systems := []NetSystem{NetSkyloft, NetShenango}
 	cols := []string{string(NetSkyloft), string(NetShenango)}
 	t := stats.NewTable("Fig 8a: Memcached USR, p99 latency (us) vs offered load (krps)", "load_krps", cols...)
+	var cells []gridCell
 	for _, load := range loads {
-		row := map[string]float64{}
 		for _, s := range systems {
-			p := RunNetApp(NetConfig{
-				System: s, App: "memcached", Workers: Fig8aWorkers,
-				Rate: load, Duration: dur, Seed: seed,
-			})
-			row[string(s)] = p.P99
+			load, s := load, s
+			cells = append(cells, gridCell{x: load, col: string(s), run: func() float64 {
+				return RunNetApp(NetConfig{
+					System: s, App: "memcached", Workers: Fig8aWorkers,
+					Rate: load, Duration: dur, Seed: seed,
+				}).P99
+			}})
 		}
-		t.Add(load/1000, row)
+	}
+	for i, row := range sweepGrid(loads, cells) {
+		t.Add(loads[i]/1000, row)
 	}
 	return t
 }
@@ -200,16 +204,20 @@ func Fig8b(loads []float64, dur simtime.Duration, seed uint64) *stats.Table {
 		cols = append(cols, v.name)
 	}
 	t := stats.NewTable("Fig 8b: RocksDB bimodal, p99.9 slowdown vs offered load (krps)", "load_krps", cols...)
+	var cells []gridCell
 	for _, load := range loads {
-		row := map[string]float64{}
 		for _, v := range variants {
-			p := RunNetApp(NetConfig{
-				System: v.sys, App: "rocksdb", Workers: v.workers,
-				Quantum: v.quantum, Rate: load, Duration: dur, Seed: seed,
-			})
-			row[v.name] = p.P999Slow
+			load, v := load, v
+			cells = append(cells, gridCell{x: load, col: v.name, run: func() float64 {
+				return RunNetApp(NetConfig{
+					System: v.sys, App: "rocksdb", Workers: v.workers,
+					Quantum: v.quantum, Rate: load, Duration: dur, Seed: seed,
+				}).P999Slow
+			}})
 		}
-		t.Add(load/1000, row)
+	}
+	for i, row := range sweepGrid(loads, cells) {
+		t.Add(loads[i]/1000, row)
 	}
 	return t
 }

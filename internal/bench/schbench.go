@@ -107,18 +107,36 @@ func Fig5(workerCounts []int, reqPerWorker int, seed uint64) (p99, p50 *stats.Ta
 	}
 	p99 = stats.NewTable("Fig 5: schbench p99 wakeup latency (us)", "workers", cols...)
 	p50 = stats.NewTable("Fig 5: schbench p50 wakeup latency (us)", "workers", cols...)
+	type cell struct {
+		w   int
+		col string
+		run func() SchbenchResult
+	}
+	var cells []cell
 	for _, w := range workerCounts {
-		r99 := map[string]float64{}
-		r50 := map[string]float64{}
+		w := w
 		for _, v := range linuxsim.Variants() {
-			res := SchbenchLinux(v, w, reqPerWorker, seed)
-			r99[string(v)] = res.Hist.P99().Micros()
-			r50[string(v)] = res.Hist.P50().Micros()
+			v := v
+			cells = append(cells, cell{w, string(v), func() SchbenchResult {
+				return SchbenchLinux(v, w, reqPerWorker, seed)
+			}})
 		}
 		for _, s := range SkyloftScheds() {
-			res := SchbenchSkyloft(s, 0, w, reqPerWorker, seed)
-			r99[string(s)] = res.Hist.P99().Micros()
-			r50[string(s)] = res.Hist.P50().Micros()
+			s := s
+			cells = append(cells, cell{w, string(s), func() SchbenchResult {
+				return SchbenchSkyloft(s, 0, w, reqPerWorker, seed)
+			}})
+		}
+	}
+	results := Sweep(cells, func(c cell) SchbenchResult { return c.run() })
+	perRow := len(cells) / len(workerCounts)
+	for i, w := range workerCounts {
+		r99 := map[string]float64{}
+		r50 := map[string]float64{}
+		for j := 0; j < perRow; j++ {
+			c, res := cells[i*perRow+j], results[i*perRow+j]
+			r99[c.col] = res.Hist.P99().Micros()
+			r50[c.col] = res.Hist.P50().Micros()
 		}
 		p99.Add(float64(w), r99)
 		p50.Add(float64(w), r50)
@@ -135,15 +153,23 @@ func Fig6(workerCounts []int, slices []simtime.Duration, reqPerWorker int, seed 
 	}
 	cols = append(cols, "fifo")
 	t := stats.NewTable("Fig 6: schbench p99 wakeup latency by RR slice (us)", "workers", cols...)
+	var xs []float64
+	var cells []gridCell
 	for _, w := range workerCounts {
-		row := map[string]float64{}
+		w := w
+		xs = append(xs, float64(w))
 		for _, s := range slices {
-			res := SchbenchSkyloft(SkyloftRR, s, w, reqPerWorker, seed)
-			row[fmt.Sprintf("rr-%v", s)] = res.Hist.P99().Micros()
+			s := s
+			cells = append(cells, gridCell{x: float64(w), col: fmt.Sprintf("rr-%v", s), run: func() float64 {
+				return SchbenchSkyloft(SkyloftRR, s, w, reqPerWorker, seed).Hist.P99().Micros()
+			}})
 		}
-		res := SchbenchSkyloft(SkyloftFIFO, 0, w, reqPerWorker, seed)
-		row["fifo"] = res.Hist.P99().Micros()
-		t.Add(float64(w), row)
+		cells = append(cells, gridCell{x: float64(w), col: "fifo", run: func() float64 {
+			return SchbenchSkyloft(SkyloftFIFO, 0, w, reqPerWorker, seed).Hist.P99().Micros()
+		}})
+	}
+	for i, row := range sweepGrid(xs, cells) {
+		t.Add(xs[i], row)
 	}
 	return t
 }

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment sweeps are embarrassingly parallel: every trial builds its
+// own machine, clock, and engine from an explicit seed, so trials share no
+// state and each is bit-deterministic in isolation. Sweep exploits that by
+// fanning trials out over a GOMAXPROCS-bounded worker pool while keeping
+// results in input order, so a parallel sweep emits exactly the tables a
+// serial one does.
+
+// sweepWorkers caps concurrent trials; 0 means GOMAXPROCS.
+var sweepWorkers atomic.Int32
+
+// SetSweepWorkers caps the number of concurrently running trials. n <= 0
+// restores the default (GOMAXPROCS); n == 1 forces serial execution.
+func SetSweepWorkers(n int) { sweepWorkers.Store(int32(n)) }
+
+// SweepParallelism reports the current trial-concurrency cap.
+func SweepParallelism() int {
+	if n := int(sweepWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Sweep runs job over every item on a bounded worker pool and returns the
+// results in input order. Each job must be self-contained (build its own
+// simulation); jobs must not share mutable state.
+func Sweep[T, R any](items []T, job func(T) R) []R {
+	n := len(items)
+	out := make([]R, n)
+	w := SweepParallelism()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i, it := range items {
+			out[i] = job(it)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = job(items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// gridCell is one (row value, column name) trial of a table-shaped sweep.
+type gridCell struct {
+	x   float64 // row key (load, worker count, ...)
+	col string
+	run func() float64
+}
+
+// sweepGrid executes every cell in parallel and returns per-row column maps
+// in row order: rows[i][col] is the cell value for the i-th distinct x.
+func sweepGrid(xs []float64, cells []gridCell) []map[string]float64 {
+	vals := Sweep(cells, func(c gridCell) float64 { return c.run() })
+	rowIdx := make(map[float64]int, len(xs))
+	rows := make([]map[string]float64, len(xs))
+	for i, x := range xs {
+		rowIdx[x] = i
+		rows[i] = map[string]float64{}
+	}
+	for i, c := range cells {
+		rows[rowIdx[c.x]][c.col] = vals[i]
+	}
+	return rows
+}

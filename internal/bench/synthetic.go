@@ -179,19 +179,24 @@ func runSyntheticLinux(cfg SynthConfig) LoadPoint {
 }
 
 // Fig7a sweeps offered load for each system and reports p99 latency (µs).
+// The (load, system) grid runs as parallel independent trials.
 func Fig7a(loads []float64, quantum simtime.Duration, dur simtime.Duration, seed uint64) *stats.Table {
 	var cols []string
 	for _, s := range SynthSystems() {
 		cols = append(cols, string(s))
 	}
 	t := stats.NewTable("Fig 7a: dispersive load, p99 latency (us) vs offered load (krps)", "load_krps", cols...)
+	var cells []gridCell
 	for _, load := range loads {
-		row := map[string]float64{}
 		for _, s := range SynthSystems() {
-			p := RunSynthetic(SynthConfig{System: s, Quantum: quantum, Rate: load, Duration: dur, Seed: seed})
-			row[string(s)] = p.P99
+			load, s := load, s
+			cells = append(cells, gridCell{x: load, col: string(s), run: func() float64 {
+				return RunSynthetic(SynthConfig{System: s, Quantum: quantum, Rate: load, Duration: dur, Seed: seed}).P99
+			}})
 		}
-		t.Add(load/1000, row)
+	}
+	for i, row := range sweepGrid(loads, cells) {
+		t.Add(loads[i]/1000, row)
 	}
 	return t
 }
@@ -206,14 +211,27 @@ func Fig7bc(loads []float64, quantum simtime.Duration, dur simtime.Duration, see
 	}
 	latency = stats.NewTable("Fig 7b: dispersive + batch, p99 latency (us)", "load_krps", cols...)
 	share = stats.NewTable("Fig 7c: batch application CPU share", "load_krps", cols...)
+	type cell struct {
+		load float64
+		sys  SynthSystem
+	}
+	var cells []cell
 	for _, load := range loads {
+		for _, s := range systems {
+			cells = append(cells, cell{load, s})
+		}
+	}
+	points := Sweep(cells, func(c cell) LoadPoint {
+		return RunSynthetic(SynthConfig{
+			System: c.sys, Quantum: quantum, Rate: c.load, Duration: dur,
+			WithBE: true, Seed: seed,
+		})
+	})
+	for i, load := range loads {
 		lrow := map[string]float64{}
 		srow := map[string]float64{}
-		for _, s := range systems {
-			p := RunSynthetic(SynthConfig{
-				System: s, Quantum: quantum, Rate: load, Duration: dur,
-				WithBE: true, Seed: seed,
-			})
+		for j, s := range systems {
+			p := points[i*len(systems)+j]
 			lrow[string(s)] = p.P99
 			srow[string(s)] = p.BEShare
 		}

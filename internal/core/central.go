@@ -18,7 +18,6 @@ type allocState struct {
 	beOnCore int                     // workers currently granted to BE apps
 	preempts uint64                  // BE cores reclaimed
 	grants   uint64
-	uittOf   map[*coreCtx]int // dispatcher's UITT index per worker
 }
 
 // centralSubmit enqueues a runnable task. Best-effort tasks go to their
@@ -44,10 +43,7 @@ func (e *Engine) pokeDispatcher() {
 		return
 	}
 	e.dispatchArmed = true
-	e.special.hwc.Exec(e.ec.DispatchDecision, func() {
-		e.dispatchArmed = false
-		e.dispatchLoop()
-	})
+	e.special.hwc.Exec(e.ec.DispatchDecision, e.dispatchFn)
 }
 
 // dispatchLoop is sched_poll: assign queued tasks to idle workers, one
@@ -90,13 +86,13 @@ func (e *Engine) assign(w *coreCtx, t *sched.Thread) {
 	// Best-effort grants run until the congestion allocator reclaims the
 	// core; only LC assignments are bounded by the preemption quantum.
 	if q := e.central.Quantum(); q > 0 && !w.beMode {
-		e.m.Clock.At(e.m.Now()+q, func() { e.quantumCheck(w, t, seq) })
+		e.m.Clock.At(e.m.Now()+q, e.newQCCont(w, t, seq).fire)
 	}
 	cost := e.ec.Handoff
-	if w.lastRan != t {
+	if w.lastRanID != t.ID {
 		cost += e.ec.Switch
 	}
-	w.lastRan = t
+	w.lastRanID = t.ID
 	if t.App != w.currApp {
 		cost += e.appSwitch(w, t.App)
 	}
@@ -104,20 +100,7 @@ func (e *Engine) assign(w *coreCtx, t *sched.Thread) {
 	ep := w.epoch
 	t.State = sched.Running
 	t.LastCPU = w.idx
-	w.hwc.Exec(cost, func() {
-		if w.epoch != ep {
-			return // assignment superseded while the handoff was charged
-		}
-		w.dispatched = true
-		e.emit(trace.Dispatch, w.idx, t, 0)
-		if t.WakeArmed {
-			t.WakeArmed = false
-			if t.RecordWakeup {
-				e.WakeupHist.Record(e.m.Now() - t.WokenAt)
-			}
-		}
-		e.dispatch(w, t)
-	})
+	w.hwc.Exec(cost, e.newDispCont(w, t, ep).fire)
 }
 
 // quantumCheck runs on the dispatcher when an assignment's quantum expires:
@@ -136,15 +119,10 @@ func (e *Engine) sendPreempt(w *coreCtx) {
 	w.preemptAim = w.assignSeq
 	e.special.hwc.Exec(mech.Send, nil)
 	if mech.UseUINTR {
-		if e.allocState.uittOf == nil {
-			e.allocState.uittOf = make(map[*coreCtx]int)
+		if w.dispUITT < 0 {
+			w.dispUITT = e.special.send.Connect(w.recv.UPID(), PreemptUserVector)
 		}
-		idx, ok := e.allocState.uittOf[w]
-		if !ok {
-			idx = e.special.send.Connect(w.recv.UPID(), PreemptUserVector)
-			e.allocState.uittOf[w] = idx
-		}
-		e.special.send.SendUIPI(idx)
+		e.special.send.SendUIPI(w.dispUITT)
 		return
 	}
 	e.m.SendIPI(e.special.hwc.ID, w.hwc.ID, legacyPreemptVector, mech.Deliver, nil)

@@ -138,11 +138,25 @@ type Engine struct {
 	mod *kmod.Module
 	seg *shm.Segment
 
-	apps     []*App
-	threads  []*sched.Thread
-	nextID   int
-	liveProc map[*sched.Thread]*proc.P
-	rand     *rng.Rand
+	apps   []*App
+	nextID int
+	rand   *rng.Rand
+
+	// Thread-object recycling: live tracks threads whose body has not
+	// exited; utFree chains recycled uthreads (descriptor + closures) and
+	// procs recycles the goroutine/channel pairs behind them. A Fig. 7-style
+	// run creates millions of threads but only tens live at once, so reuse
+	// removes the simulator's largest allocation source.
+	live    []*uthread
+	utFree  *uthread
+	procs   proc.Pool
+	idleBuf []bool // reused by idleMask
+
+	// Pooled continuation records for in-flight Exec/timer callbacks that
+	// may be superseded (several pending at once, so they cannot live in
+	// per-core fields like the tick path's do).
+	dispFree *dispCont
+	qcFree   *qcCont
 
 	// WakeupHist records wake→run latency for threads with RecordWakeup.
 	WakeupHist *stats.Hist
@@ -154,6 +168,7 @@ type Engine struct {
 
 	// centralized-mode state (central.go)
 	dispatchArmed bool
+	dispatchFn    func()
 	allocState    allocState
 
 	// interrupt-driven networking (netirq.go)
@@ -176,12 +191,111 @@ func (e *Engine) emit(k trace.Kind, cpu int, t *sched.Thread, arg int64) {
 	e.tr.Record(ev)
 }
 
-// uthread is engine-private per-thread state.
+// uthread is engine-private per-thread state. It embeds the public
+// descriptor and everything else a thread life needs (env, callbacks, the
+// backing proc.P), so one recycled object covers what used to be six
+// allocations per thread. Recycling reuses &u.t for a later thread, which
+// is safe because nothing in the engine holds a *Thread past exit: wake
+// targets are always Blocked/Sleeping (and such threads cannot exit), and
+// stale in-flight callbacks are guarded by epoch/seq counters, not by
+// thread identity.
 type uthread struct {
-	sleepEv *simtime.Event
+	t       sched.Thread
+	sleepEv simtime.Event
+	sleepFn func() // timer-wake callback, allocated once per slot
+	p       *proc.P
+	env     uenv
+	body    sched.Func
+	runBody func(*proc.Ctx) // proc body trampoline, allocated once per slot
+	liveIdx int             // index into Engine.live
+	next    *uthread        // Engine.utFree chain
+
+	// Quick-task state (StartQuick): p == nil and the body "Run(quickSvc)
+	// then onDone and exit" is interpreted by resumeThread directly, with
+	// no goroutine behind the thread.
+	quickSvc simtime.Duration
+	quickRan bool
+	onDone   func(now simtime.Time)
 }
 
 func ut(t *sched.Thread) *uthread { return t.EngData.(*uthread) }
+
+// dispCont is a pooled dispatch continuation shared by startTask (per-CPU)
+// and assign (centralized). The continuation is charged as an Exec on the
+// worker and may be superseded while in flight (epoch guard), so several
+// can be pending per core at once — each rides its own pooled record
+// instead of a fresh closure per dispatch.
+type dispCont struct {
+	e    *Engine
+	c    *coreCtx
+	t    *sched.Thread
+	ep   uint64
+	next *dispCont
+	fire func() // bound run method, allocated once per record
+}
+
+func (e *Engine) newDispCont(c *coreCtx, t *sched.Thread, ep uint64) *dispCont {
+	d := e.dispFree
+	if d != nil {
+		e.dispFree = d.next
+	} else {
+		d = &dispCont{e: e}
+		d.fire = d.run
+	}
+	d.c, d.t, d.ep = c, t, ep
+	return d
+}
+
+func (d *dispCont) run() {
+	e, c, t, ep := d.e, d.c, d.t, d.ep
+	d.c, d.t = nil, nil
+	d.next = e.dispFree
+	e.dispFree = d
+	if c.epoch != ep {
+		return // ownership changed mid-switch (e.g. preempted)
+	}
+	c.dispatched = true
+	e.emit(trace.Dispatch, c.idx, t, 0)
+	if t.WakeArmed {
+		t.WakeArmed = false
+		if t.RecordWakeup {
+			e.WakeupHist.Record(e.m.Now() - t.WokenAt)
+		}
+	}
+	e.dispatch(c, t)
+}
+
+// qcCont is a pooled quantum-check timer record (centralized mode): one per
+// assignment, several may be pending per worker when assignments turn over
+// faster than the quantum.
+type qcCont struct {
+	e    *Engine
+	w    *coreCtx
+	t    *sched.Thread
+	seq  uint64
+	next *qcCont
+	fire func() // bound run method, allocated once per record
+}
+
+func (e *Engine) newQCCont(w *coreCtx, t *sched.Thread, seq uint64) *qcCont {
+	q := e.qcFree
+	if q != nil {
+		e.qcFree = q.next
+	} else {
+		q = &qcCont{e: e}
+		q.fire = q.run
+	}
+	q.w, q.t, q.seq = w, t, seq
+	return q
+}
+
+func (q *qcCont) run() {
+	e, w, t, seq := q.e, q.w, q.t, q.seq
+	q.w, q.t = nil, nil
+	q.next = e.qcFree
+	e.qcFree = q
+	e.quantumCheck(w, t, seq)
+}
 
 // coreCtx is one isolated core's scheduler state.
 type coreCtx struct {
@@ -191,10 +305,10 @@ type coreCtx struct {
 	recv    *uintrsim.Receiver
 	send    *uintrsim.Sender
 	deleg   *uintrsim.TimerDelegation
-	curr    *sched.Thread
-	lastRan *sched.Thread
-	currApp int
-	idle    bool
+	curr      *sched.Thread
+	lastRanID int // ID of the last task that ran here (0 = none)
+	currApp   int
+	idle      bool
 
 	// epoch increments whenever core ownership (curr) changes; deferred
 	// callbacks capture it and bail if ownership moved on, which guards
@@ -211,6 +325,21 @@ type coreCtx struct {
 	assignSeq  uint64 // increments per assignment, guards stale preempt checks
 	preemptAim uint64 // assignSeq a preemption IPI was aimed at
 	beMode     bool   // core currently granted to a best-effort app
+	dispUITT   int    // dispatcher's UITT index for this worker (-1 = none yet)
+
+	// Reusable continuations for the per-tick hot path. At most one of each
+	// is in flight per core (interrupts stay masked until the continuation's
+	// UIRet; kick is guarded by the idle flag), so the arguments ride in
+	// fields instead of fresh closures every firing.
+	tickCont    func()
+	tickTask    *sched.Thread
+	tickEpoch   uint64
+	tickPreempt bool
+	tickRanFor  simtime.Duration
+	uiretFn     func()
+	kickCont    func()
+	runCont     func() // StartRun completion (one segment per core)
+	runTask     *sched.Thread
 }
 
 // setCurr changes core ownership, invalidating deferred callbacks from the
@@ -237,7 +366,6 @@ func New(cfg Config) *Engine {
 		central:    cfg.Central,
 		mod:        kmod.New(cfg.Machine, cfg.Machine.Cost),
 		seg:        shm.NewSegment(1 << 16),
-		liveProc:   make(map[*sched.Thread]*proc.P),
 		rand:       rng.New(cfg.Seed ^ 0x5EED),
 		WakeupHist: stats.NewHist(),
 		tr:         cfg.Trace,
@@ -260,7 +388,7 @@ func New(cfg Config) *Engine {
 	}
 
 	for i, id := range workerCPUs {
-		c := &coreCtx{e: e, idx: i, hwc: cfg.Machine.Cores[id], idle: true, currApp: -1}
+		c := &coreCtx{e: e, idx: i, hwc: cfg.Machine.Cores[id], idle: true, currApp: -1, dispUITT: -1}
 		c.recv = uintrsim.NewReceiver(c.hwc, e.cost)
 		c.send = uintrsim.NewSender(c.hwc, e.cost)
 		cc := c
@@ -268,6 +396,24 @@ func New(cfg Config) *Engine {
 			e.onUserIRQ(cc, vec, ranFor)
 		})
 		c.recv.SetLegacyHandler(func(irq hw.IRQ) { e.onLegacyIRQ(cc, irq) })
+		c.tickCont = func() { e.tickResume(cc) }
+		c.runCont = func() {
+			t := cc.runTask
+			cc.runTask = nil
+			if e.cfg.TimerMode == TimerDeadline {
+				cc.deleg.Disarm()
+			}
+			e.account(t, t.Remaining)
+			e.resumeThread(cc, t, nil)
+		}
+		c.uiretFn = func() { cc.recv.UIRet() }
+		c.kickCont = func() {
+			if cc.curr != nil {
+				return // another path already gave the core work
+			}
+			cc.idle = true // scheduleNext clears if it finds work
+			e.scheduleNext(cc)
+		}
 		e.cores = append(e.cores, c)
 	}
 
@@ -279,6 +425,10 @@ func New(cfg Config) *Engine {
 	} else {
 		if e.central == nil {
 			panic("core: Centralized mode requires a CentralPolicy")
+		}
+		e.dispatchFn = func() {
+			e.dispatchArmed = false
+			e.dispatchLoop()
 		}
 	}
 
@@ -364,23 +514,86 @@ func (a *App) Start(name string, body sched.Func) *sched.Thread {
 	return t
 }
 
-// Engine reports the owning engine (so workload helpers can reach stats).
-func (a *App) Engine() *Engine { return a.e }
-
-func (e *Engine) newThread(a *App, name string, body sched.Func) *sched.Thread {
-	e.nextID++
-	t := &sched.Thread{ID: e.nextID, Name: name, App: a.ID, LastCPU: -1}
-	t.EngData = &uthread{}
+// StartQuick creates a thread whose body is exactly "Run(service), then
+// onDone(now) and exit" — the thread-per-request pattern of the Fig. 7
+// experiments. It is scheduled, dispatched, preempted and accounted exactly
+// like a Start thread issuing those requests, but the engine interprets the
+// fixed body directly, so no goroutine or channel pair backs the thread.
+// onDone runs at the virtual instant the request completes.
+func (a *App) StartQuick(name string, service simtime.Duration, onDone func(now simtime.Time)) *sched.Thread {
+	e := a.e
+	u := e.getUthread(name, a.ID)
+	u.quickSvc = service
+	u.onDone = onDone
+	t := &u.t
 	if e.mode == PerCPU {
 		e.policy.TaskInit(t)
 	}
-	env := &uenv{e: e, t: t}
-	p := proc.New(name, func(c *proc.Ctx) {
-		env.ctx = c
-		body(env)
-	})
-	e.liveProc[t] = p
-	e.threads = append(e.threads, t)
+	u.liveIdx = len(e.live)
+	e.live = append(e.live, u)
+	a.live++
+	t.State = sched.Runnable
+	e.submit(t, EnqNew)
+	return t
+}
+
+// Engine reports the owning engine (so workload helpers can reach stats).
+func (a *App) Engine() *Engine { return a.e }
+
+// getUthread pops a recycled uthread from the freelist (or builds a fresh
+// one with its once-per-slot closures) and resets the embedded descriptor
+// for a new life as thread name in app.
+func (e *Engine) getUthread(name string, app int) *uthread {
+	u := e.utFree
+	if u != nil {
+		e.utFree = u.next
+		u.next = nil
+	} else {
+		u = &uthread{}
+		u.t.EngData = u
+		u.env.e = e
+		u.env.t = &u.t
+		u.sleepFn = func() {
+			u.sleepEv = simtime.Event{}
+			e.wake(nil, &u.t)
+		}
+		u.runBody = func(c *proc.Ctx) {
+			u.env.ctx = c
+			u.body(&u.env)
+		}
+	}
+	e.nextID++
+	t := &u.t
+	t.ID = e.nextID
+	t.Name = name
+	t.App = app
+	t.State = sched.Created
+	t.WakePending = false
+	t.CPUTime = 0
+	t.EnqueuedAt = 0
+	t.WokenAt = 0
+	t.LastCPU = -1
+	t.RecordWakeup = false
+	t.WakeArmed = false
+	t.Remaining = 0
+	t.PolData = nil
+	u.sleepEv = simtime.Event{}
+	u.quickSvc = 0
+	u.quickRan = false
+	u.onDone = nil
+	return u
+}
+
+func (e *Engine) newThread(a *App, name string, body sched.Func) *sched.Thread {
+	u := e.getUthread(name, a.ID)
+	t := &u.t
+	u.body = body
+	if e.mode == PerCPU {
+		e.policy.TaskInit(t)
+	}
+	u.p = e.procs.Get(name, u.runBody)
+	u.liveIdx = len(e.live)
+	e.live = append(e.live, u)
 	a.live++
 	return t
 }
@@ -393,15 +606,21 @@ func (e *Engine) RunUntil(horizon simtime.Time, pred func() bool) bool {
 	return e.m.Clock.RunUntil(horizon, pred)
 }
 
-// Shutdown stops timers and kills remaining thread goroutines.
+// Shutdown stops timers and reaps every thread goroutine, including the
+// parked ones in the reuse pool.
 func (e *Engine) Shutdown() {
-	for _, p := range e.liveProc {
-		if !p.Done() {
-			// Under strict handoff every live thread is parked in a
-			// request at this point, so killing is always safe.
-			p.Kill()
+	for _, u := range e.live {
+		// Under strict handoff every live thread is parked in a request at
+		// this point, so killing is always safe. Quick tasks have no
+		// goroutine behind them and need no reaping.
+		if u.p != nil {
+			u.p.Kill()
+			u.p.Stop()
+			u.p = nil
 		}
 	}
+	e.live = nil
+	e.procs.Drain()
 	for _, c := range e.cores {
 		if c.deleg != nil {
 			c.deleg.Stop()
@@ -439,7 +658,11 @@ func (e *Engine) submit(t *sched.Thread, flags EnqueueFlags) {
 }
 
 func (e *Engine) idleMask() []bool {
-	m := make([]bool, len(e.cores))
+	m := e.idleBuf
+	if m == nil {
+		m = make([]bool, len(e.cores))
+		e.idleBuf = m
+	}
 	for i, c := range e.cores {
 		m[i] = c.idle
 	}
@@ -452,13 +675,7 @@ func (e *Engine) kick(c *coreCtx) {
 		return
 	}
 	c.idle = false
-	c.hwc.Exec(e.ec.Pick+e.ec.UnparkCost, func() {
-		if c.curr != nil {
-			return // another path already gave the core work
-		}
-		c.idle = true // scheduleNext clears if it finds work
-		e.scheduleNext(c)
-	})
+	c.hwc.Exec(e.ec.Pick+e.ec.UnparkCost, c.kickCont)
 }
 
 // scheduleNext runs the main scheduling loop once on core c.
@@ -495,27 +712,14 @@ func (e *Engine) startTask(c *coreCtx, t *sched.Thread) {
 	t.State = sched.Running
 	t.LastCPU = c.idx
 	cost := e.ec.Pick
-	if c.lastRan != t {
+	if c.lastRanID != t.ID {
 		cost += e.ec.Switch
 	}
-	c.lastRan = t
+	c.lastRanID = t.ID
 	if t.App != c.currApp {
 		cost += e.appSwitch(c, t.App)
 	}
-	c.hwc.Exec(cost, func() {
-		if c.epoch != ep {
-			return // ownership changed mid-switch (e.g. preempted)
-		}
-		c.dispatched = true
-		e.emit(trace.Dispatch, c.idx, t, 0)
-		if t.WakeArmed {
-			t.WakeArmed = false
-			if t.RecordWakeup {
-				e.WakeupHist.Record(e.m.Now() - t.WokenAt)
-			}
-		}
-		e.dispatch(c, t)
-	})
+	c.hwc.Exec(cost, e.newDispCont(c, t, ep).fire)
 }
 
 // appSwitch performs the kernel-thread swap for cross-application switches
@@ -544,13 +748,8 @@ func (e *Engine) dispatch(c *coreCtx, t *sched.Thread) {
 			c.hwc.Exec(e.ec.TimerArm, nil)
 			c.deleg.ArmDeadline(e.cfg.DeadlineQuantum)
 		}
-		c.hwc.StartRun(t.Remaining, func() {
-			if e.cfg.TimerMode == TimerDeadline {
-				c.deleg.Disarm()
-			}
-			e.account(t, t.Remaining)
-			e.resumeThread(c, t, nil)
-		})
+		c.runTask = t
+		c.hwc.StartRun(t.Remaining, c.runCont)
 		return
 	}
 	e.resumeThread(c, t, nil)
@@ -582,9 +781,9 @@ func (e *Engine) wake(from *coreCtx, t *sched.Thread) {
 		return
 	}
 	u := ut(t)
-	if u.sleepEv != nil {
+	if !u.sleepEv.IsZero() {
 		e.m.Clock.Cancel(u.sleepEv)
-		u.sleepEv = nil
+		u.sleepEv = simtime.Event{}
 	}
 	_ = from // wake-path cost is charged by the WakeReq continuation
 	t.State = sched.Runnable
@@ -637,44 +836,54 @@ func (e *Engine) onTick(c *coreCtx, ranFor simtime.Duration) {
 	if e.mode == Centralized {
 		// Centralized workers are preempted by the dispatcher, not local
 		// ticks.
-		c.hwc.Exec(rearm, func() { c.recv.UIRet() })
+		c.hwc.Exec(rearm, c.uiretFn)
 		return
 	}
 	t := c.curr
-	ep := c.epoch
 	if t != nil {
 		e.account(t, ranFor)
 	}
-	preempt := t != nil && !c.inRuntime && e.policy.SchedTimerTick(c.idx, t, ranFor)
-	c.hwc.Exec(rearm, func() {
-		c.recv.UIRet()
-		if t != nil && c.epoch != ep {
-			return // ownership changed while the handler was charged
+	c.tickTask = t
+	c.tickEpoch = c.epoch
+	c.tickPreempt = t != nil && !c.inRuntime && e.policy.SchedTimerTick(c.idx, t, ranFor)
+	c.tickRanFor = ranFor
+	c.hwc.Exec(rearm, c.tickCont)
+}
+
+// tickResume is the deferred half of onTick, run once the handler's rearm
+// cost has been charged. Its arguments travel in coreCtx tick* fields: the
+// receiver keeps interrupts masked until the UIRet below, so exactly one
+// instance is in flight per core.
+func (e *Engine) tickResume(c *coreCtx) {
+	t, ep, preempt, ranFor := c.tickTask, c.tickEpoch, c.tickPreempt, c.tickRanFor
+	c.tickTask = nil
+	c.recv.UIRet()
+	if t != nil && c.epoch != ep {
+		return // ownership changed while the handler was charged
+	}
+	switch {
+	case preempt:
+		e.preemptions++
+		if c.dispatched {
+			e.emit(trace.Preempt, c.idx, t, int64(ranFor))
 		}
-		switch {
-		case preempt:
-			e.preemptions++
-			if c.dispatched {
-				e.emit(trace.Preempt, c.idx, t, int64(ranFor))
-			}
-			t.State = sched.Runnable
-			e.policy.TaskEnqueue(c.idx, t, EnqPreempted)
-			c.setCurr(nil)
+		t.State = sched.Runnable
+		e.policy.TaskEnqueue(c.idx, t, EnqPreempted)
+		c.setCurr(nil)
+		e.scheduleNext(c)
+	case t != nil:
+		if c.dispatched && !c.inRuntime && !c.hwc.Running() {
+			e.dispatch(c, t)
+		}
+		// Otherwise an in-flight dispatch callback or runtime-op
+		// continuation already resumed it (or will).
+	default:
+		// Idle tick: opportunistically rerun the main loop; a core
+		// mid-transition (curr==nil, not idle) is left to its owner.
+		if c.idle {
 			e.scheduleNext(c)
-		case t != nil:
-			if c.dispatched && !c.inRuntime && !c.hwc.Running() {
-				e.dispatch(c, t)
-			}
-			// Otherwise an in-flight dispatch callback or runtime-op
-			// continuation already resumed it (or will).
-		default:
-			// Idle tick: opportunistically rerun the main loop; a core
-			// mid-transition (curr==nil, not idle) is left to its owner.
-			if c.idle {
-				e.scheduleNext(c)
-			}
 		}
-	})
+	}
 }
 
 // onLegacyIRQ handles non-UINTR preemption vectors (kernel IPI / signal
@@ -718,7 +927,24 @@ func (e *Engine) startUtimer() {
 // ---- thread request processing ----
 
 func (e *Engine) resumeThread(c *coreCtx, t *sched.Thread, resp any) {
-	p := e.liveProc[t]
+	u := ut(t)
+	if u.p == nil {
+		// Quick task (StartQuick): the fixed body "Run(quickSvc), then
+		// onDone and exit", interpreted without a backing goroutine.
+		if !u.quickRan {
+			u.quickRan = true
+			t.Remaining = u.quickSvc
+			e.dispatch(c, t)
+			return
+		}
+		if done := u.onDone; done != nil {
+			u.onDone = nil
+			done(e.m.Now())
+		}
+		e.finishThread(c, t)
+		return
+	}
+	p := u.p
 	for {
 		req := p.Resume(resp)
 		resp = nil
@@ -756,10 +982,7 @@ func (e *Engine) resumeThread(c *coreCtx, t *sched.Thread, resp any) {
 			e.emit(trace.Sleep, c.idx, t, int64(r.D))
 			t.State = sched.Sleeping
 			u := ut(t)
-			u.sleepEv = e.m.Clock.After(r.D, func() {
-				u.sleepEv = nil
-				e.wake(nil, t)
-			})
+			u.sleepEv = e.m.Clock.After(r.D, u.sleepFn)
 			c.setCurr(nil)
 			e.scheduleNext(c)
 			return
@@ -770,10 +993,7 @@ func (e *Engine) resumeThread(c *coreCtx, t *sched.Thread, resp any) {
 			e.emit(trace.Sleep, c.idx, t, int64(r.D))
 			t.State = sched.Sleeping
 			u := ut(t)
-			u.sleepEv = e.m.Clock.After(r.D, func() {
-				u.sleepEv = nil
-				e.wake(nil, t)
-			})
+			u.sleepEv = e.m.Clock.After(r.D, u.sleepFn)
 			c.setCurr(nil)
 			e.scheduleNext(c)
 			return
@@ -831,7 +1051,6 @@ func (e *Engine) resumeThread(c *coreCtx, t *sched.Thread, resp any) {
 func (e *Engine) finishThread(c *coreCtx, t *sched.Thread) {
 	e.emit(trace.Exit, c.idx, t, 0)
 	t.State = sched.Exited
-	delete(e.liveProc, t)
 	if e.mode == PerCPU {
 		e.policy.TaskTerminate(t)
 	}
@@ -840,6 +1059,23 @@ func (e *Engine) finishThread(c *coreCtx, t *sched.Thread) {
 	if a.live == 0 {
 		a.meta.Exited = true
 	}
+	// Recycle the thread's objects: the goroutine parks for reuse and the
+	// uthread (descriptor included) goes on the freelist. Swap-remove from
+	// the live list keeps exit O(1).
+	u := ut(t)
+	if u.p != nil {
+		e.procs.Put(u.p)
+		u.p = nil
+	}
+	u.body = nil
+	u.onDone = nil
+	last := len(e.live) - 1
+	e.live[u.liveIdx] = e.live[last]
+	e.live[u.liveIdx].liveIdx = u.liveIdx
+	e.live[last] = nil
+	e.live = e.live[:last]
+	u.next = e.utFree
+	e.utFree = u
 	c.setCurr(nil)
 	e.scheduleNext(c)
 }

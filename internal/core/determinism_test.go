@@ -1,0 +1,107 @@
+package core_test
+
+// End-to-end determinism: the engine's dispatched-event trace must be a
+// pure function of the seed. These tests are the guard for the simtime
+// event-core rewrite (pooled store + timer wheel): the golden hashes below
+// were captured from the original binary-heap clock, so a pass proves the
+// new clock dispatches the exact same event sequence on full engine runs.
+//
+// Regenerating goldens: only a change that intentionally alters scheduling
+// behaviour may update them. Run with -run TestTraceGolden -v and copy the
+// logged hashes.
+
+import (
+	"testing"
+
+	"skyloft/internal/core"
+	"skyloft/internal/cycles"
+	"skyloft/internal/hw"
+	"skyloft/internal/policy/rr"
+	"skyloft/internal/policy/shinjuku"
+	"skyloft/internal/sched"
+	"skyloft/internal/simtime"
+	"skyloft/internal/trace"
+)
+
+// runTraceScenario drives a preemption-heavy mixed workload and returns the
+// trace hash, trace total, and clock dispatch count.
+func runTraceScenario(mode core.Mode, seed uint64) (uint64, uint64, uint64) {
+	m := hw.NewMachine(hw.DefaultConfig())
+	tr := trace.New(1 << 12)
+	cfg := core.Config{
+		Machine: m, Trace: tr, Seed: seed,
+		Costs: core.SkyloftCosts(cycles.Default()),
+	}
+	if mode == core.Centralized {
+		cfg.CPUs = []int{0, 1, 2, 3, 4}
+		cfg.Mode = core.Centralized
+		cfg.Central = shinjuku.New(20 * simtime.Microsecond)
+		cfg.TimerMode = core.TimerNone
+	} else {
+		cfg.CPUs = []int{0, 1, 2, 3}
+		cfg.Mode = core.PerCPU
+		cfg.Policy = rr.New(25 * simtime.Microsecond)
+		cfg.TimerMode = core.TimerLAPIC
+		cfg.TimerHz = 100_000
+	}
+	e := core.New(cfg)
+	defer e.Shutdown()
+	app := e.NewApp("det")
+	for i := 0; i < 12; i++ {
+		app.Start("w", func(env sched.Env) {
+			for r := 0; r < 40; r++ {
+				switch env.Rand().Intn(4) {
+				case 0:
+					env.Run(simtime.Duration(5+env.Rand().Intn(60)) * simtime.Microsecond)
+				case 1:
+					env.Sleep(simtime.Duration(1+env.Rand().Intn(30)) * simtime.Microsecond)
+				case 2:
+					env.Yield()
+				default:
+					env.Run(simtime.Duration(env.Rand().Intn(200)))
+				}
+			}
+		})
+	}
+	e.Run(20 * simtime.Millisecond)
+	return tr.Hash(), tr.Total(), m.Clock.Dispatched()
+}
+
+// TestTraceGolden pins the event orderings to the hashes produced by the
+// original heap-based clock on seeded runs.
+func TestTraceGolden(t *testing.T) {
+	golden := []struct {
+		mode       core.Mode
+		seed       uint64
+		hash       uint64
+		total      uint64
+		dispatched uint64
+	}{
+		{core.PerCPU, 1, 0x2fa35bce9c929199, 790, 32755},
+		{core.PerCPU, 7, 0x7eb2367fbac11477, 810, 32751},
+		{core.Centralized, 1, 0xd9bc16275f4969b2, 974, 2736},
+	}
+	for _, g := range golden {
+		h, tot, disp := runTraceScenario(g.mode, g.seed)
+		t.Logf("mode=%d seed=%d hash=%#x total=%d dispatched=%d", g.mode, g.seed, h, tot, disp)
+		if g.hash == 0 {
+			continue // capture mode
+		}
+		if h != g.hash || tot != g.total || disp != g.dispatched {
+			t.Errorf("mode=%d seed=%d: got hash=%#x total=%d dispatched=%d, want hash=%#x total=%d dispatched=%d",
+				g.mode, g.seed, h, tot, disp, g.hash, g.total, g.dispatched)
+		}
+	}
+}
+
+// TestTraceRunTwice asserts bit-identical replay: same seed, same trace
+// hash, same dispatch counts.
+func TestTraceRunTwice(t *testing.T) {
+	for _, mode := range []core.Mode{core.PerCPU, core.Centralized} {
+		h1, t1, d1 := runTraceScenario(mode, 42)
+		h2, t2, d2 := runTraceScenario(mode, 42)
+		if h1 != h2 || t1 != t2 || d1 != d2 {
+			t.Fatalf("mode=%d: runs diverged: (%#x,%d,%d) vs (%#x,%d,%d)", mode, h1, t1, d1, h2, t2, d2)
+		}
+	}
+}

@@ -50,3 +50,39 @@ func TestShutdownReapsAllGoroutines(t *testing.T) {
 	}
 	t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), base)
 }
+
+// The clock's pooled event store must reach a steady state: once the
+// workload's high-water mark of concurrently pending events is hit, fired
+// and cancelled events are recycled and the store stops growing.
+func TestClockEventStoreBounded(t *testing.T) {
+	m := newMachineForLeak()
+	e := New(Config{
+		Machine: m, CPUs: []int{0, 1},
+		Mode: PerCPU, Policy: newTestFIFO(10 * simtime.Microsecond),
+		Costs:     SkyloftCosts(defaultCostForLeak()),
+		TimerMode: TimerLAPIC, TimerHz: 100_000, Seed: 9,
+	})
+	defer e.Shutdown()
+	app := e.NewApp("app")
+	for i := 0; i < 40; i++ {
+		app.Start("w", func(env sched.Env) {
+			for {
+				env.Run(15 * simtime.Microsecond)
+				env.Sleep(simtime.Duration(1+env.Rand().Intn(20)) * simtime.Microsecond)
+			}
+		})
+	}
+	e.Run(2 * simtime.Millisecond)
+	high := m.Clock.StoreSize()
+	e.Run(10 * simtime.Millisecond)
+	if grown := m.Clock.StoreSize(); grown > high {
+		t.Errorf("event store grew after warmup: %d -> %d slots", high, grown)
+	}
+	if live := m.Clock.StoreSize() - m.Clock.StoreFree(); live != m.Clock.Pending() {
+		t.Errorf("store leak: %d live slots but %d pending events (dead events retained)",
+			live, m.Clock.Pending())
+	}
+	if disp := m.Clock.Dispatched(); disp < 2000 {
+		t.Fatalf("scenario too small to exercise recycling: %d dispatches", disp)
+	}
+}

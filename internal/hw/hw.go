@@ -55,6 +55,27 @@ type Machine struct {
 
 	coresPerSocket int
 	ipisSent       uint64
+	ipiFree        *ipiFlight // recycled in-flight IPI records
+}
+
+// ipiFlight is one IPI on the wire: a pooled record whose bound deliver
+// method replaces a per-send closure (IPIs are the densest event source in
+// preemption-heavy runs).
+type ipiFlight struct {
+	m      *Machine
+	target *Core
+	irq    IRQ
+	next   *ipiFlight
+	fire   func() // bound deliver method, allocated once per record
+}
+
+func (f *ipiFlight) deliver() {
+	target, irq := f.target, f.irq
+	f.target = nil
+	f.irq = IRQ{}
+	f.next = f.m.ipiFree
+	f.m.ipiFree = f
+	target.Interrupt(irq)
 }
 
 // NewMachine builds a machine per cfg with a fresh clock.
@@ -73,6 +94,8 @@ func NewMachine(cfg Config) *Machine {
 	for i := 0; i < cfg.Cores; i++ {
 		c := &Core{ID: i, m: m}
 		c.Timer = &LAPICTimer{core: c}
+		c.deliverFn = c.deliverOne
+		c.runDoneFn = c.runDone
 		m.Cores = append(m.Cores, c)
 	}
 	return m
@@ -99,10 +122,16 @@ func (m *Machine) SendIPI(from, to int, vec uint8, delay simtime.Duration, data 
 		panic(fmt.Sprintf("hw: IPI to invalid core %d", to))
 	}
 	m.ipisSent++
-	target := m.Cores[to]
-	m.Clock.After(delay, func() {
-		target.Interrupt(IRQ{Vector: vec, From: from, Data: data})
-	})
+	f := m.ipiFree
+	if f != nil {
+		m.ipiFree = f.next
+	} else {
+		f = &ipiFlight{m: m}
+		f.fire = f.deliver
+	}
+	f.target = m.Cores[to]
+	f.irq = IRQ{Vector: vec, From: from, Data: data}
+	m.Clock.After(delay, f.fire)
 }
 
 // Core is one simulated hardware thread.
@@ -112,20 +141,27 @@ type Core struct {
 
 	m         *Machine
 	busyUntil simtime.Time
-	run       *runState
+	running   bool
+	run       runState
 
-	handler    func(IRQ)
-	inIRQ      bool
-	pending    []IRQ
-	deliverEvt *simtime.Event
+	handler     func(IRQ)
+	inIRQ       bool
+	pending     []IRQ // queued IRQs from pendingHead on (head-indexed ring)
+	pendingHead int
+	deliverEvt  simtime.Event
+	deliverFn  func() // scheduleDelivery callback, allocated once per core
+	runDoneFn  func() // StartRun completion callback, allocated once per core
 
 	busyAccum simtime.Duration // total occupied time, for utilisation stats
 }
 
+// runState is the core's single in-flight application segment; one per core,
+// embedded to avoid a per-StartRun allocation.
 type runState struct {
 	started  simtime.Time
 	duration simtime.Duration
-	done     *simtime.Event
+	done     simtime.Event
+	onDone   func()
 }
 
 // Machine reports the owning machine.
@@ -153,7 +189,7 @@ func (c *Core) free() simtime.Time {
 // nil. Exec panics if an application segment is currently running: engines
 // must StopRun first.
 func (c *Core) Exec(cost simtime.Duration, fn func()) {
-	if c.run != nil {
+	if c.running {
 		panic(fmt.Sprintf("hw: core %d Exec while a run segment is active", c.ID))
 	}
 	if cost < 0 {
@@ -172,35 +208,40 @@ func (c *Core) Exec(cost simtime.Duration, fn func()) {
 // length, invoking onDone when it completes uninterrupted. Only one segment
 // may be active at a time.
 func (c *Core) StartRun(d simtime.Duration, onDone func()) {
-	if c.run != nil {
+	if c.running {
 		panic(fmt.Sprintf("hw: core %d StartRun while already running", c.ID))
 	}
 	if d < 0 {
 		panic("hw: negative run duration")
 	}
 	start := c.free()
-	rs := &runState{started: start, duration: d}
-	rs.done = c.m.Clock.At(start+d, func() {
-		c.run = nil
-		c.busyAccum += d
-		onDone()
-	})
-	c.run = rs
+	c.run = runState{started: start, duration: d, onDone: onDone}
+	c.run.done = c.m.Clock.At(start+d, c.runDoneFn)
+	c.running = true
 	c.busyUntil = start + d
 }
 
+func (c *Core) runDone() {
+	c.running = false
+	c.busyAccum += c.run.duration
+	onDone := c.run.onDone
+	c.run.onDone = nil
+	onDone()
+}
+
 // Running reports whether an application segment is active.
-func (c *Core) Running() bool { return c.run != nil }
+func (c *Core) Running() bool { return c.running }
 
 // StopRun cancels the active segment and reports how much of its work had
 // completed by now. It panics if no segment is active.
 func (c *Core) StopRun() simtime.Duration {
-	rs := c.run
-	if rs == nil {
+	if !c.running {
 		panic(fmt.Sprintf("hw: core %d StopRun with no active run", c.ID))
 	}
+	rs := &c.run
 	c.m.Clock.Cancel(rs.done)
-	c.run = nil
+	c.running = false
+	rs.onDone = nil
 	now := c.m.Clock.Now()
 	elapsed := now - rs.started
 	if elapsed < 0 {
@@ -220,39 +261,46 @@ func (c *Core) StopRun() simtime.Duration {
 // Interrupt queues irq for delivery on this core. Interrupts with the same
 // vector coalesce while pending, matching local-APIC IRR semantics.
 func (c *Core) Interrupt(irq IRQ) {
-	for i := range c.pending {
+	for i := c.pendingHead; i < len(c.pending); i++ {
 		if c.pending[i].Vector == irq.Vector {
 			return // already pending; edge coalesced
 		}
+	}
+	if c.pendingHead > 0 && c.pendingHead == len(c.pending) {
+		// Queue drained: rewind so the backing array's capacity is reused
+		// instead of reallocating on every append.
+		c.pending = c.pending[:0]
+		c.pendingHead = 0
 	}
 	c.pending = append(c.pending, irq)
 	c.scheduleDelivery()
 }
 
 // PendingIRQs reports the number of queued, undelivered interrupts.
-func (c *Core) PendingIRQs() int { return len(c.pending) }
+func (c *Core) PendingIRQs() int { return len(c.pending) - c.pendingHead }
 
 func (c *Core) scheduleDelivery() {
-	if c.inIRQ || c.deliverEvt != nil || len(c.pending) == 0 || c.handler == nil {
+	if c.inIRQ || !c.deliverEvt.IsZero() || c.PendingIRQs() == 0 || c.handler == nil {
 		return
 	}
 	// Interrupts preempt run segments immediately but wait out
 	// non-interruptible Exec occupancy (interrupts are recognised at the
 	// next instruction boundary; Exec models masked critical sections).
 	at := c.m.Clock.Now()
-	if c.run == nil && c.busyUntil > at {
+	if !c.running && c.busyUntil > at {
 		at = c.busyUntil
 	}
-	c.deliverEvt = c.m.Clock.At(at, c.deliverOne)
+	c.deliverEvt = c.m.Clock.At(at, c.deliverFn)
 }
 
 func (c *Core) deliverOne() {
-	c.deliverEvt = nil
-	if c.inIRQ || len(c.pending) == 0 {
+	c.deliverEvt = simtime.Event{}
+	if c.inIRQ || c.PendingIRQs() == 0 {
 		return
 	}
-	irq := c.pending[0]
-	c.pending = c.pending[1:]
+	irq := c.pending[c.pendingHead]
+	c.pending[c.pendingHead] = IRQ{}
+	c.pendingHead++
 	c.inIRQ = true
 	c.handler(irq)
 }
@@ -274,13 +322,15 @@ func (c *Core) EndIRQ() {
 // (classic tick) and one-shot mode (TSC-deadline style, the basis of the
 // paper's §6 "kernel-bypass timer reset" / User-Timer Events discussion).
 type LAPICTimer struct {
-	core    *Core
-	period  simtime.Duration
-	vector  uint8
-	enabled bool
-	oneshot bool
-	next    *simtime.Event
-	fires   uint64
+	core      *Core
+	period    simtime.Duration
+	vector    uint8
+	enabled   bool
+	oneshot   bool
+	next      simtime.Event
+	fires     uint64
+	fireFn    func() // periodic expiry callback, allocated once per timer
+	oneshotFn func() // one-shot expiry callback, allocated once per timer
 }
 
 // Start arms the timer with the given period and interrupt vector.
@@ -313,24 +363,27 @@ func (t *LAPICTimer) ArmOneShot(d simtime.Duration, vector uint8) {
 	t.vector = vector
 	t.enabled = true
 	t.oneshot = true
-	t.next = t.core.m.Clock.After(d, func() {
-		if !t.enabled {
-			return
+	if t.oneshotFn == nil {
+		t.oneshotFn = func() {
+			if !t.enabled {
+				return
+			}
+			t.enabled = false
+			t.next = simtime.Event{}
+			t.fires++
+			t.core.Interrupt(IRQ{Vector: t.vector, From: TimerSource})
 		}
-		t.enabled = false
-		t.next = nil
-		t.fires++
-		t.core.Interrupt(IRQ{Vector: t.vector, From: TimerSource})
-	})
+	}
+	t.next = t.core.m.Clock.After(d, t.oneshotFn)
 }
 
 // Stop disarms the timer.
 func (t *LAPICTimer) Stop() {
 	t.enabled = false
 	t.oneshot = false
-	if t.next != nil {
+	if !t.next.IsZero() {
 		t.core.m.Clock.Cancel(t.next)
-		t.next = nil
+		t.next = simtime.Event{}
 	}
 }
 
@@ -344,12 +397,15 @@ func (t *LAPICTimer) Period() simtime.Duration { return t.period }
 func (t *LAPICTimer) Fires() uint64 { return t.fires }
 
 func (t *LAPICTimer) arm() {
-	t.next = t.core.m.Clock.After(t.period, func() {
-		if !t.enabled {
-			return
+	if t.fireFn == nil {
+		t.fireFn = func() {
+			if !t.enabled {
+				return
+			}
+			t.fires++
+			t.core.Interrupt(IRQ{Vector: t.vector, From: TimerSource})
+			t.arm()
 		}
-		t.fires++
-		t.core.Interrupt(IRQ{Vector: t.vector, From: TimerSource})
-		t.arm()
-	})
+	}
+	t.next = t.core.m.Clock.After(t.period, t.fireFn)
 }

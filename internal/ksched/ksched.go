@@ -111,6 +111,7 @@ type Kernel struct {
 	threads  []*sched.Thread
 	nextID   int
 	liveProc map[*sched.Thread]*proc.P
+	procs    proc.Pool // recycled goroutine/channel pairs behind threads
 
 	// WakeupHist collects wake→run latencies for threads with
 	// RecordWakeup set (schbench's metric).
@@ -133,7 +134,8 @@ type kthread struct {
 	// running).
 	pendingSignals []func()
 
-	sleepEv *simtime.Event
+	sleepEv simtime.Event
+	sleepFn func() // timer-wake callback, allocated once per thread
 }
 
 func kt(t *sched.Thread) *kthread { return t.EngData.(*kthread) }
@@ -165,6 +167,15 @@ type cpu struct {
 	// inRuntime marks the current thread as executing kernel code for a
 	// spawn/wake request; ticks must not preempt it mid-request.
 	inRuntime bool
+
+	// Reusable continuations for the interrupt and dispatch hot paths. At
+	// most one of each is in flight per CPU (interrupts stay masked until
+	// EndIRQ; hw allows one run segment per core), so these replace a fresh
+	// closure per tick/IPI/dispatch.
+	irqDoneFn func()
+	sigDoneFn func()
+	runCont   func()
+	runTask   *sched.Thread
 }
 
 // setCurr changes CPU ownership, invalidating stale deferred callbacks.
@@ -191,6 +202,23 @@ func New(cfg Config) *Kernel {
 	for i, id := range cfg.CPUs {
 		c := &cpu{k: k, idx: i, hwc: cfg.Machine.Cores[id], idle: true}
 		c.hwc.SetIRQHandler(c.handleIRQ)
+		c.irqDoneFn = func() {
+			c.hwc.EndIRQ()
+			c.afterIRQ()
+		}
+		c.sigDoneFn = func() {
+			if c.curr != nil {
+				c.runPendingSignals(c.curr)
+			}
+			c.hwc.EndIRQ()
+			c.afterIRQ()
+		}
+		c.runCont = func() {
+			t := c.runTask
+			c.runTask = nil
+			c.account(t, t.Remaining)
+			c.k.resumeThread(c, t, nil)
+		}
 		k.cpus = append(k.cpus, c)
 		if k.params.HZ > 0 {
 			c.hwc.Timer.StartHz(k.params.HZ, tickVector)
@@ -216,7 +244,10 @@ func (k *Kernel) Shutdown() {
 			// request at this point, so killing is always safe.
 			p.Kill()
 		}
+		p.Stop()
 	}
+	k.liveProc = nil
+	k.procs.Drain()
 	for _, c := range k.cpus {
 		c.hwc.Timer.Stop()
 	}
@@ -241,9 +272,14 @@ func (k *Kernel) StartClass(name string, class Class, body sched.Func) *sched.Th
 func (k *Kernel) newThread(name string, class Class, body sched.Func) *sched.Thread {
 	k.nextID++
 	t := &sched.Thread{ID: k.nextID, Name: name, LastCPU: -1}
-	t.EngData = &kthread{t: t, class: class}
+	kth := &kthread{t: t, class: class}
+	kth.sleepFn = func() {
+		kth.sleepEv = simtime.Event{}
+		k.wake(t)
+	}
+	t.EngData = kth
 	env := &kenv{k: k, t: t}
-	p := proc.New(name, func(c *proc.Ctx) {
+	p := k.procs.Get(name, func(c *proc.Ctx) {
 		env.ctx = c
 		body(env)
 	})
@@ -293,10 +329,7 @@ func (c *cpu) tick() {
 			c.needResched = true
 		}
 	}
-	c.hwc.Exec(cost, func() {
-		c.hwc.EndIRQ()
-		c.afterIRQ()
-	})
+	c.hwc.Exec(cost, c.irqDoneFn)
 }
 
 // reschedIPI handles a wakeup-preemption IPI from another CPU.
@@ -312,10 +345,7 @@ func (c *cpu) reschedIPI() {
 	if !c.inRuntime {
 		c.needResched = true
 	}
-	c.hwc.Exec(c.k.cost.KernelIPIReceive, func() {
-		c.hwc.EndIRQ()
-		c.afterIRQ()
-	})
+	c.hwc.Exec(c.k.cost.KernelIPIReceive, c.irqDoneFn)
 }
 
 // signalIPI delivers pending signals to the running thread.
@@ -327,14 +357,7 @@ func (c *cpu) signalIPI() {
 	if c.curr != nil {
 		c.account(c.curr, ran)
 	}
-	cost := c.k.cost.SignalReceive
-	c.hwc.Exec(cost, func() {
-		if c.curr != nil {
-			c.runPendingSignals(c.curr)
-		}
-		c.hwc.EndIRQ()
-		c.afterIRQ()
-	})
+	c.hwc.Exec(c.k.cost.SignalReceive, c.sigDoneFn)
 }
 
 func (c *cpu) runPendingSignals(t *sched.Thread) {
@@ -388,10 +411,8 @@ func (c *cpu) resumeCurr() {
 		c.k.resumeThread(c, t, nil)
 		return
 	}
-	c.hwc.StartRun(t.Remaining, func() {
-		c.account(t, t.Remaining)
-		c.k.resumeThread(c, t, nil)
-	})
+	c.runTask = t
+	c.hwc.StartRun(t.Remaining, c.runCont)
 }
 
 // account charges executed time to t's class bookkeeping.
@@ -458,10 +479,8 @@ func (c *cpu) schedule() {
 // its parked request.
 func (c *cpu) dispatch(t *sched.Thread) {
 	if t.Remaining > 0 {
-		c.hwc.StartRun(t.Remaining, func() {
-			c.account(t, t.Remaining)
-			c.k.resumeThread(c, t, nil)
-		})
+		c.runTask = t
+		c.hwc.StartRun(t.Remaining, c.runCont)
 		return
 	}
 	c.k.resumeThread(c, t, nil)
@@ -535,9 +554,9 @@ func (k *Kernel) wake(t *sched.Thread) {
 		return
 	}
 	kth := kt(t)
-	if kth.sleepEv != nil {
+	if !kth.sleepEv.IsZero() {
 		k.m.Clock.Cancel(kth.sleepEv)
-		kth.sleepEv = nil
+		kth.sleepEv = simtime.Event{}
 	}
 	t.State = sched.Runnable
 	t.WokenAt = k.m.Now()
@@ -574,10 +593,7 @@ func (c *cpu) parkFor(t *sched.Thread, d simtime.Duration) {
 	t.State = sched.Sleeping
 	c.noteDequeue(t)
 	kth := kt(t)
-	kth.sleepEv = c.k.m.Clock.After(d, func() {
-		kth.sleepEv = nil
-		c.k.wake(t)
-	})
+	kth.sleepEv = c.k.m.Clock.After(d, kth.sleepFn)
 	c.setCurr(nil)
 	c.schedule()
 }
@@ -654,6 +670,9 @@ func (k *Kernel) resumeThread(c *cpu, t *sched.Thread, resp any) {
 			return
 		case proc.ExitRequest:
 			t.State = sched.Exited
+			// Recycle the goroutine/channel pair; thread-heavy workloads
+			// (schbench, thread-per-request servers) reuse it immediately.
+			k.procs.Put(k.liveProc[t])
 			delete(k.liveProc, t)
 			c.setCurr(nil)
 			c.schedule()

@@ -1,0 +1,48 @@
+package ksched
+
+// Shutdown must reap every thread goroutine — including finished ones whose
+// proc.P parked for reuse and live ones parked mid-request — so that sweep
+// runners executing thousands of sims do not accumulate parked goroutines.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"skyloft/internal/hw"
+	"skyloft/internal/sched"
+	"skyloft/internal/simtime"
+)
+
+func TestShutdownReapsAllGoroutines(t *testing.T) {
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		k := New(Config{
+			Machine: hw.NewMachine(hw.DefaultConfig()), CPUs: []int{0, 1},
+			Params: DefaultParams(), Class: ClassCFS, Seed: uint64(round),
+		})
+		for i := 0; i < 30; i++ {
+			n := i
+			k.Start("w", func(env sched.Env) {
+				// A mix of finished and still-live threads at shutdown.
+				for r := 0; r < n%4; r++ {
+					env.Run(50 * simtime.Microsecond)
+					env.Sleep(20 * simtime.Microsecond)
+				}
+			})
+		}
+		k.Run(3 * simtime.Millisecond)
+		k.Shutdown()
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		runtime.Gosched()
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), base)
+}

@@ -45,6 +45,7 @@ type Itimer struct {
 	target  *sched.Thread
 	period  simtime.Duration
 	handler func()
+	fireFn  func() // expiry callback, allocated once per timer
 	stopped bool
 	fires   uint64
 }
@@ -53,19 +54,20 @@ type Itimer struct {
 // charged per expiry is the paper's measured 5,057 cycles.
 func (k *Kernel) Setitimer(target *sched.Thread, period simtime.Duration, handler func()) *Itimer {
 	it := &Itimer{k: k, target: target, period: period, handler: handler}
-	it.arm()
-	return it
-}
-
-func (it *Itimer) arm() {
-	it.k.m.Clock.After(it.period, func() {
+	it.fireFn = func() {
 		if it.stopped || it.target.State == sched.Exited {
 			return
 		}
 		it.fires++
 		it.k.postSignal(it.target, it.handler)
 		it.arm()
-	})
+	}
+	it.arm()
+	return it
+}
+
+func (it *Itimer) arm() {
+	it.k.m.Clock.After(it.period, it.fireFn)
 }
 
 // Fires reports the number of expirations so far.

@@ -29,7 +29,7 @@ type Request struct {
 // Clock abstracts the simulation clock.
 type Clock interface {
 	Now() simtime.Time
-	At(at simtime.Time, fn func()) *simtime.Event
+	At(at simtime.Time, fn func()) simtime.Event
 }
 
 // Gen produces an open-loop request stream.
@@ -98,18 +98,22 @@ func (g *Gen) Run(clock Clock, limit uint64, deliver func(Request)) {
 		gap = 1
 	}
 	exp := rng.Exponential{MeanVal: gap}
-	var schedule func(at simtime.Time)
-	schedule = func(at simtime.Time) {
-		clock.At(at, func() {
-			if g.stopped || (g.limit > 0 && g.count >= g.limit) {
-				return
-			}
-			g.count++
-			deliver(g.next(at))
-			schedule(at + exp.Sample(g.r) + 1)
-		})
+	// One arrival is pending at a time, so a single reusable callback with
+	// the next deadline in nextAt replaces a closure pair per request.
+	var nextAt simtime.Time
+	var fire func()
+	fire = func() {
+		if g.stopped || (g.limit > 0 && g.count >= g.limit) {
+			return
+		}
+		at := nextAt
+		g.count++
+		deliver(g.next(at))
+		nextAt = at + exp.Sample(g.r) + 1
+		clock.At(nextAt, fire)
 	}
-	schedule(clock.Now() + exp.Sample(g.r) + 1)
+	nextAt = clock.Now() + exp.Sample(g.r) + 1
+	clock.At(nextAt, fire)
 }
 
 func (g *Gen) next(at simtime.Time) Request {

@@ -29,7 +29,7 @@ type Waker interface {
 // Clock is the subset of simtime.Clock the NIC needs.
 type Clock interface {
 	Now() simtime.Time
-	After(d simtime.Duration, fn func()) *simtime.Event
+	After(d simtime.Duration, fn func()) simtime.Event
 }
 
 // NIC is the simulated device. In the default polling mode (§3.5) a
@@ -48,8 +48,20 @@ type NIC struct {
 	irqPost func(ring int)
 	irqBuf  [][]Packet
 
+	// polling-mode in-flight packets. The datapath delay is a constant, so
+	// deliveries complete strictly FIFO and one reusable callback popping
+	// from this queue replaces a closure per packet.
+	inflight     []inflightPkt
+	inflightHead int
+	deliverFn    func()
+
 	delivered uint64
 	dropped   uint64
+}
+
+type inflightPkt struct {
+	ring int
+	p    Packet
 }
 
 // NewNIC creates a NIC with n RSS rings.
@@ -57,7 +69,18 @@ func NewNIC(clock Clock, cost cycles.Model, n int) *NIC {
 	if n <= 0 {
 		panic("netsim: NIC needs at least one ring")
 	}
-	return &NIC{clock: clock, cost: cost, rings: make([]func(Packet), n)}
+	nic := &NIC{clock: clock, cost: cost, rings: make([]func(Packet), n)}
+	nic.deliverFn = func() {
+		ip := nic.inflight[nic.inflightHead]
+		nic.inflight[nic.inflightHead] = inflightPkt{}
+		nic.inflightHead++
+		if nic.inflightHead == len(nic.inflight) {
+			nic.inflight = nic.inflight[:0]
+			nic.inflightHead = 0
+		}
+		nic.Handle(ip.ring, ip.p)
+	}
+	return nic
 }
 
 // OnRing installs the handler invoked for packets steered to ring i.
@@ -122,9 +145,8 @@ func (n *NIC) Deliver(p Packet) {
 		return
 	}
 	delay := n.cost.NICPoll + n.cost.RingHop + n.cost.NetStack
-	n.clock.After(delay, func() {
-		n.Handle(ring, p)
-	})
+	n.inflight = append(n.inflight, inflightPkt{ring: ring, p: p})
+	n.clock.After(delay, n.deliverFn)
 }
 
 // Ring is a blocking packet queue for worker-pool servers: external pushes

@@ -23,13 +23,36 @@ type Wire struct {
 	r        *rng.Rand
 	ends     [2]func([]byte)
 
+	// Frames in flight. Latency is a constant, so arrivals are strictly
+	// FIFO and one reusable callback popping this queue replaces a closure
+	// per frame.
+	inflight     []wireFrame
+	inflightHead int
+	arriveFn     func()
+
 	sent    uint64
 	dropped uint64
 }
 
+type wireFrame struct {
+	rx   func([]byte)
+	data []byte
+}
+
 // NewWire creates a link with the given one-way latency.
 func NewWire(clock Clock, latency simtime.Duration) *Wire {
-	return &Wire{clock: clock, latency: latency, r: rng.New(0xB17E)}
+	w := &Wire{clock: clock, latency: latency, r: rng.New(0xB17E)}
+	w.arriveFn = func() {
+		f := w.inflight[w.inflightHead]
+		w.inflight[w.inflightHead] = wireFrame{}
+		w.inflightHead++
+		if w.inflightHead == len(w.inflight) {
+			w.inflight = w.inflight[:0]
+			w.inflightHead = 0
+		}
+		f.rx(f.data)
+	}
+	return w
 }
 
 // SetLoss makes the wire drop each frame with probability p.
@@ -59,7 +82,8 @@ func (w *Wire) send(side int, frame []byte) {
 	}
 	// Copy: the sender may reuse its buffer.
 	dup := append([]byte(nil), frame...)
-	w.clock.After(w.latency, func() { other(dup) })
+	w.inflight = append(w.inflight, wireFrame{rx: other, data: dup})
+	w.clock.After(w.latency, w.arriveFn)
 }
 
 // Stack is one host's protocol endpoint.

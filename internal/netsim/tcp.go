@@ -57,7 +57,8 @@ type TCPConn struct {
 	sndUna     uint32 // oldest unacknowledged sequence
 	rcvNxt     uint32 // next expected sequence
 	unacked    []txSegment
-	rtoEvent   *simtime.Event
+	rtoEvent   simtime.Event
+	rtoFn      func() // onRTO method value, allocated once per connection
 	retries    int
 	rxBuf      []byte
 	rxWaiters  []*sched.Thread
@@ -152,24 +153,25 @@ func (c *TCPConn) sendSegment(flags uint8, data []byte, track bool) {
 }
 
 func (c *TCPConn) armRTO() {
-	if c.rtoEvent != nil {
+	if !c.rtoEvent.IsZero() {
 		return
 	}
-	c.rtoEvent = c.s.clock.After(RTO, c.onRTO)
+	if c.rtoFn == nil {
+		c.rtoFn = c.onRTO
+	}
+	c.rtoEvent = c.s.clock.After(RTO, c.rtoFn)
 }
 
 func (c *TCPConn) cancelRTO() {
-	if c.rtoEvent != nil {
-		// The clock interface has no cancel; mark by nil and ignore fires
-		// with an empty queue instead.
-		c.rtoEvent = nil
-	}
+	// The clock interface has no cancel; mark by the zero handle and ignore
+	// fires with an empty queue instead.
+	c.rtoEvent = simtime.Event{}
 }
 
 // onRTO retransmits the oldest unacknowledged segment (go-back-N would
 // resend all; resending the head is enough to make progress).
 func (c *TCPConn) onRTO() {
-	c.rtoEvent = nil
+	c.rtoEvent = simtime.Event{}
 	if len(c.unacked) == 0 || c.state == TCPClosed {
 		return
 	}

@@ -19,7 +19,8 @@ type Policy struct {
 	// optimal for the Fig. 7 synthetic workload. 0 disables preemption.
 	PreemptQuantum simtime.Duration
 
-	q []*sched.Thread
+	q    []*sched.Thread // queued tasks from head on (head-indexed ring)
+	head int
 }
 
 // New returns a Shinjuku policy with the given preemption quantum.
@@ -33,28 +34,34 @@ func (p *Policy) Name() string { return "skyloft-shinjuku" }
 // Shinjuku re-queues long requests behind waiting short ones, which is
 // exactly how it avoids head-of-line blocking.
 func (p *Policy) Enqueue(t *sched.Thread, flags core.EnqueueFlags) {
+	if p.head > 0 && p.head == len(p.q) {
+		// Drained: rewind so the backing array's capacity is reused.
+		p.q = p.q[:0]
+		p.head = 0
+	}
 	p.q = append(p.q, t)
 }
 
 // Dequeue pops the head of the global queue.
 func (p *Policy) Dequeue() *sched.Thread {
-	if len(p.q) == 0 {
+	if p.head == len(p.q) {
 		return nil
 	}
-	t := p.q[0]
-	p.q = p.q[1:]
+	t := p.q[p.head]
+	p.q[p.head] = nil
+	p.head++
 	return t
 }
 
 // Len reports the queue length.
-func (p *Policy) Len() int { return len(p.q) }
+func (p *Policy) Len() int { return len(p.q) - p.head }
 
 // OldestWait reports the head task's queueing delay.
 func (p *Policy) OldestWait(now simtime.Time) simtime.Duration {
-	if len(p.q) == 0 {
+	if p.head == len(p.q) {
 		return 0
 	}
-	return now - p.q[0].EnqueuedAt
+	return now - p.q[p.head].EnqueuedAt
 }
 
 // Quantum reports the preemption quantum.

@@ -1,0 +1,63 @@
+package simtime
+
+import "testing"
+
+// The schedule/dispatch microbenchmark models the simulator's dominant
+// workload: per-core periodic tick streams (100 kHz LAPIC timers) that
+// re-arm themselves on every firing, plus a jittered one-shot event with an
+// occasional cancel — the pattern every engine run reduces to. The same
+// loop runs against the pooled timer-wheel Clock and the reference
+// binary-heap HeapClock so `-benchmem` shows the allocation and time delta.
+
+const (
+	benchStreams = 24                    // one tick stream per simulated core
+	benchPeriod  = Time(10 * Microsecond) // 100 kHz
+)
+
+func BenchmarkClockTimerWheel(b *testing.B) {
+	c := NewClock()
+	for i := 0; i < benchStreams; i++ {
+		var fire func()
+		fire = func() { c.After(benchPeriod, fire) }
+		c.After(Time(i), fire)
+	}
+	var oneshot Event
+	n := 0
+	rearmCancel := func() {}
+	rearmCancel = func() {
+		if n++; n%4 == 0 {
+			c.Cancel(oneshot)
+		}
+		oneshot = c.After(benchPeriod/2+Time(n%64), rearmCancel)
+	}
+	c.After(1, rearmCancel)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+func BenchmarkClockHeap(b *testing.B) {
+	c := NewHeapClock()
+	for i := 0; i < benchStreams; i++ {
+		var fire func()
+		fire = func() { c.After(benchPeriod, fire) }
+		c.After(Time(i), fire)
+	}
+	var oneshot *HeapEvent
+	n := 0
+	rearmCancel := func() {}
+	rearmCancel = func() {
+		if n++; n%4 == 0 {
+			c.Cancel(oneshot)
+		}
+		oneshot = c.After(benchPeriod/2+Time(n%64), rearmCancel)
+	}
+	c.After(1, rearmCancel)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}

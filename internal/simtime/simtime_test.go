@@ -11,7 +11,6 @@ func TestClockOrdering(t *testing.T) {
 	c := NewClock()
 	var got []Time
 	for _, at := range []Time{50, 10, 30, 20, 40} {
-		at := at
 		c.At(at, func() { got = append(got, c.Now()) })
 	}
 	for c.Step() {
@@ -53,6 +52,9 @@ func TestClockCancel(t *testing.T) {
 	if c.Cancel(e) {
 		t.Fatal("second Cancel returned true")
 	}
+	if c.Cancel(Event{}) {
+		t.Fatal("Cancel of zero handle returned true")
+	}
 	for c.Step() {
 	}
 	if fired {
@@ -60,12 +62,36 @@ func TestClockCancel(t *testing.T) {
 	}
 }
 
-func TestClockCancelMiddleOfHeap(t *testing.T) {
+// A handle to a fired event must stay dead even after its store slot is
+// recycled by later schedules (the generation check).
+func TestClockStaleCancelAfterReuse(t *testing.T) {
 	c := NewClock()
-	var events []*Event
+	stale := c.At(10, func() {})
+	if !c.Step() {
+		t.Fatal("no event to fire")
+	}
+	fresh := c.At(20, func() {})
+	if c.Cancel(stale) {
+		t.Fatal("Cancel of fired event returned true after slot reuse")
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("stale Cancel disturbed the queue: pending=%d", c.Pending())
+	}
+	if !c.Cancel(fresh) {
+		t.Fatal("Cancel of live event returned false")
+	}
+}
+
+func TestClockCancelMiddleOfQueue(t *testing.T) {
+	c := NewClock()
+	var events []Event
 	var fired []Time
 	for i := 1; i <= 20; i++ {
+		// Spread across wheel and overflow: half near, half far.
 		at := Time(i * 10)
+		if i%2 == 0 {
+			at = Time(i) * Millisecond
+		}
 		events = append(events, c.At(at, func() { fired = append(fired, c.Now()) }))
 	}
 	// Cancel every third event.
@@ -147,10 +173,65 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// Far-future events must sit in the overflow heap and still dispatch in
+// exact order as the wheel window catches up to them.
+func TestClockOverflowMigration(t *testing.T) {
+	c := NewClock()
+	var got []Time
+	deadlines := []Time{
+		5, 100, 300 * Microsecond, 263 * Microsecond, 10 * Millisecond,
+		262143, 262144, 262145, // straddle the initial wheel window edge
+		Second, 90, 500 * Microsecond,
+	}
+	for _, at := range deadlines {
+		c.At(at, func() { got = append(got, c.Now()) })
+	}
+	if c.Pending() != len(deadlines) {
+		t.Fatalf("pending=%d want %d", c.Pending(), len(deadlines))
+	}
+	for c.Step() {
+	}
+	want := append([]Time(nil), deadlines...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("fired %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch %d at %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// The pooled store must recycle fired and cancelled events: its size is
+// bounded by the high-water mark of pending events, not total throughput.
+func TestClockStoreRecycles(t *testing.T) {
+	c := NewClock()
+	var rearm func()
+	n := 0
+	rearm = func() {
+		if n++; n < 10000 {
+			c.After(100, rearm)
+		}
+	}
+	c.After(100, rearm)
+	e := c.After(50*Millisecond, func() {})
+	c.Cancel(e)
+	for c.Step() {
+	}
+	if c.StoreSize() > 8 {
+		t.Fatalf("store grew to %d slots for 1-pending workload", c.StoreSize())
+	}
+	if c.StoreSize()-c.StoreFree() != c.Pending() {
+		t.Fatalf("store leak: size=%d free=%d pending=%d",
+			c.StoreSize(), c.StoreFree(), c.Pending())
+	}
+}
+
 // Property: the event queue is a faithful priority queue — any random mix of
 // schedules and cancels dispatches the surviving events in (time, insertion)
 // order.
-func TestQuickHeapOrdering(t *testing.T) {
+func TestQuickOrdering(t *testing.T) {
 	f := func(seed int64, n uint8) bool {
 		r := rand.New(rand.NewSource(seed))
 		c := NewClock()
@@ -160,7 +241,7 @@ func TestQuickHeapOrdering(t *testing.T) {
 		}
 		var want []rec
 		var fired []rec
-		var events []*Event
+		var events []Event
 		var recs []rec
 		count := int(n%64) + 1
 		for i := 0; i < count; i++ {
@@ -201,6 +282,86 @@ func TestQuickHeapOrdering(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Differential property test: on randomized workloads of At/After/Cancel —
+// including chained reschedules from inside callbacks, deadlines spanning
+// wheel and overflow, and dense ties — the timer-wheel Clock dispatches the
+// exact same event sequence as the reference binary-heap HeapClock.
+func TestQuickWheelMatchesHeap(t *testing.T) {
+	f := func(seed int64) bool {
+		run := func(sched func(at Time, fn func()) func() bool, step func() bool, now func() Time) []int64 {
+			r := rand.New(rand.NewSource(seed))
+			var order []int64
+			var cancels []func() bool
+			id := int64(0)
+			randomAt := func() Time {
+				switch r.Intn(4) {
+				case 0: // dense near-future ties
+					return now() + Time(r.Intn(4)*64)
+				case 1: // wheel range
+					return now() + Time(r.Intn(200_000))
+				case 2: // overflow range
+					return now() + Time(200_000+r.Intn(2_000_000))
+				default: // far overflow
+					return now() + Time(r.Intn(50))*Millisecond
+				}
+			}
+			var fire func(myID int64, depth int) func()
+			fire = func(myID int64, depth int) func() {
+				return func() {
+					order = append(order, myID)
+					if depth < 3 && r.Intn(2) == 0 {
+						// Reschedule from inside a callback.
+						id++
+						cancels = append(cancels, sched(randomAt(), fire(id, depth+1)))
+					}
+					if len(cancels) > 0 && r.Intn(3) == 0 {
+						cancels[r.Intn(len(cancels))]()
+					}
+				}
+			}
+			for i := 0; i < 40; i++ {
+				id++
+				cancels = append(cancels, sched(randomAt(), fire(id, 0)))
+			}
+			for i := 0; i < 8; i++ {
+				cancels[r.Intn(len(cancels))]()
+			}
+			steps := 0
+			for step() && steps < 500 {
+				steps++
+			}
+			return order
+		}
+
+		wc := NewClock()
+		wheelOrder := run(func(at Time, fn func()) func() bool {
+			e := wc.At(at, fn)
+			return func() bool { return wc.Cancel(e) }
+		}, wc.Step, wc.Now)
+
+		hc := NewHeapClock()
+		heapOrder := run(func(at Time, fn func()) func() bool {
+			e := hc.At(at, fn)
+			return func() bool { return hc.Cancel(e) }
+		}, hc.Step, hc.Now)
+
+		if len(wheelOrder) != len(heapOrder) {
+			t.Logf("seed %d: wheel fired %d, heap fired %d", seed, len(wheelOrder), len(heapOrder))
+			return false
+		}
+		for i := range wheelOrder {
+			if wheelOrder[i] != heapOrder[i] {
+				t.Logf("seed %d: divergence at %d: wheel=%d heap=%d", seed, i, wheelOrder[i], heapOrder[i])
+				return false
+			}
+		}
+		return wc.Dispatched() == hc.Dispatched()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
 }

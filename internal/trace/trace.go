@@ -85,6 +85,7 @@ type Ring struct {
 	next    int
 	wrapped bool
 	total   uint64
+	hash    uint64
 	counts  [Steal + 1]uint64
 }
 
@@ -93,7 +94,23 @@ func New(capacity int) *Ring {
 	if capacity <= 0 {
 		capacity = 1 << 16
 	}
-	return &Ring{buf: make([]Event, 0, capacity)}
+	return &Ring{buf: make([]Event, 0, capacity), hash: fnvOffset}
+}
+
+// FNV-1a over every recorded event's fields, maintained incrementally so
+// Hash covers the full history even after the ring evicts old events.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xFF
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
 }
 
 // Record appends an event, evicting the oldest when full.
@@ -102,6 +119,13 @@ func (r *Ring) Record(ev Event) {
 	if int(ev.Kind) < len(r.counts) {
 		r.counts[ev.Kind]++
 	}
+	h := fnvMix(r.hash, uint64(ev.At))
+	h = fnvMix(h, uint64(ev.Kind))
+	h = fnvMix(h, uint64(int64(ev.CPU)))
+	h = fnvMix(h, uint64(int64(ev.Task)))
+	h = fnvMix(h, uint64(int64(ev.App)))
+	h = fnvMix(h, uint64(ev.Arg))
+	r.hash = h
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, ev)
 		return
@@ -113,6 +137,11 @@ func (r *Ring) Record(ev Event) {
 
 // Total reports events recorded over the ring's lifetime.
 func (r *Ring) Total() uint64 { return r.total }
+
+// Hash reports a running FNV-1a digest of every event ever recorded (not
+// just the retained window). Two runs are behaviourally identical iff their
+// totals and hashes match — the determinism tests' primary witness.
+func (r *Ring) Hash() uint64 { return r.hash }
 
 // Count reports lifetime events of one kind.
 func (r *Ring) Count(k Kind) uint64 {

@@ -53,6 +53,14 @@ type Receiver struct {
 	// would be delivered to the kernel on real hardware).
 	legacy func(hw.IRQ)
 
+	// Pending handler invocation. Delivery keeps the core's interrupts
+	// masked until the handler's UIRet, so at most one invocation is in
+	// flight per receiver and its arguments ride in fields under a single
+	// reusable callback instead of a closure per interrupt.
+	pendVec    uint8
+	pendRanFor simtime.Duration
+	invokeFn   func()
+
 	delivered uint64
 	dropped   uint64 // vector matched UINV but PIR was empty (§3.2 trap)
 }
@@ -61,6 +69,7 @@ type Receiver struct {
 // core's interrupt handler.
 func NewReceiver(core *hw.Core, cost cycles.Model) *Receiver {
 	r := &Receiver{core: core, cost: cost}
+	r.invokeFn = func() { r.handler(r.pendVec, r.pendRanFor) }
 	core.SetIRQHandler(r.dispatch)
 	return r
 }
@@ -128,12 +137,11 @@ func (r *Receiver) dispatch(irq hw.IRQ) {
 	if r.core.Running() {
 		ranFor = r.core.StopRun()
 	}
-	vec := r.takeVector()
+	r.pendVec = r.takeVector()
+	r.pendRanFor = ranFor
 	recvCost := r.receiveCost(irq)
 	r.delivered++
-	r.core.Exec(recvCost, func() {
-		r.handler(vec, ranFor)
-	})
+	r.core.Exec(recvCost, r.invokeFn)
 }
 
 // takeVector pops the highest-priority (highest-numbered) set bit from the
@@ -171,13 +179,13 @@ func (r *Receiver) receiveCost(irq hw.IRQ) simtime.Duration {
 // notification arrives, exactly as on hardware.
 func (r *Receiver) UIRet() {
 	if r.uirr != 0 {
-		vec := r.takeVector()
+		r.pendVec = r.takeVector()
 		r.delivered++
-		var ranFor simtime.Duration
+		r.pendRanFor = 0
 		if r.core.Running() {
-			ranFor = r.core.StopRun()
+			r.pendRanFor = r.core.StopRun()
 		}
-		r.core.Exec(0, func() { r.handler(vec, ranFor) })
+		r.core.Exec(0, r.invokeFn)
 		return
 	}
 	r.core.EndIRQ()
