@@ -6,7 +6,7 @@ GO ?= go
 # benchmark smoke to catch accidental allocation regressions in the event
 # core.
 .PHONY: check
-check: vet build race bench-smoke
+check: vet build race bench-smoke trace-smoke
 
 .PHONY: vet
 vet:
@@ -32,3 +32,19 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkClock' -benchtime 100x -benchmem ./internal/simtime/
 	$(GO) test -run '^$$' -bench 'BenchmarkFig7Sweep$$' -benchtime 1x -benchmem ./internal/bench/
+
+# End-to-end observability smoke: run skyloft-trace with all three
+# observability flags, verify the Perfetto JSON parses and has a slice track
+# per simulated CPU (the workload pins CPUs {0,1}), and check the occupancy
+# report covers both cores.
+.PHONY: trace-smoke
+trace-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf $$tmp' EXIT && \
+	$(GO) run ./cmd/skyloft-trace -dur 2ms -n 0 \
+		-trace-out $$tmp/trace.json -metrics-out $$tmp/metrics.json -occupancy \
+		> $$tmp/out.txt && \
+	$(GO) run ./cmd/tracecheck -cpus 2 $$tmp/trace.json && \
+	$(GO) run ./cmd/metricscheck $$tmp/metrics.json && \
+	grep -q 'cpu 0' $$tmp/out.txt && grep -q 'cpu 1' $$tmp/out.txt && \
+	grep -q 'spans:' $$tmp/out.txt && \
+	echo "trace-smoke OK"

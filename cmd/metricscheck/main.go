@@ -1,0 +1,48 @@
+// Command metricscheck validates a metrics-registry snapshot written by
+// -metrics-out: the JSON must parse into samples and contain the core
+// scheduler metrics the observability layer always registers.
+//
+// Usage:
+//
+//	metricscheck metrics.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"skyloft/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck metrics.json")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+		os.Exit(1)
+	}
+	var samples []obs.Sample
+	if err := json.Unmarshal(data, &samples); err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: %s: not valid metrics JSON: %v\n", path, err)
+		os.Exit(1)
+	}
+	have := map[string]bool{}
+	for _, s := range samples {
+		have[s.Name] = true
+	}
+	for _, want := range []string{
+		"core.preemptions", "core.runq.high_water", "core.wakeup_latency",
+		"hw.ipis.sent", "uintr.senduipi", "trace.events",
+	} {
+		if !have[want] {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s: missing metric %q\n", path, want)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("metricscheck: %s OK (%d samples)\n", path, len(samples))
+}

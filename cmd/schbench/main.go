@@ -3,16 +3,23 @@
 // default/tuned) and the Skyloft per-CPU policies (RR, CFS, EEVDF) driven
 // by 100 kHz user-space timer interrupts; plus the RR time-slice sweep.
 //
+// The observability flags run an instrumented companion workload alongside:
+// -trace-out exports it as Perfetto JSON, -metrics-out snapshots the metrics
+// registry, -occupancy prints per-core busy/idle/kernel shares.
+//
 // Usage:
 //
-//	schbench [-fig 5|6] [-reqs N] [-seed S] [-csv]
+//	schbench [-fig 5|6] [-reqs N] [-seed S] [-csv] \
+//	         [-trace-out trace.json] [-metrics-out metrics.json] [-occupancy]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"skyloft/internal/bench"
+	"skyloft/internal/obs"
 	"skyloft/internal/simtime"
 	"skyloft/internal/stats"
 )
@@ -22,6 +29,7 @@ func main() {
 	reqs := flag.Int("reqs", 50, "requests per worker")
 	seed := flag.Uint64("seed", 1, "random seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	of := obs.BindFlags()
 	flag.Parse()
 
 	workers := []int{8, 16, 24, 32, 40, 48, 56, 64}
@@ -51,5 +59,31 @@ func main() {
 		emit(bench.Fig6(workers, slices, *reqs, *seed))
 	default:
 		fmt.Println("unknown figure; use -fig 5 or -fig 6")
+	}
+
+	if of.Active() {
+		run := bench.ObservedRun(*seed, 20*simtime.Millisecond, of.Occupancy)
+		if err := run.Spans.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "SPAN VIOLATION: %v\n", err)
+			os.Exit(1)
+		}
+		if err := run.Spans.Report(os.Stdout, run.AppNames); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := of.EmitTrace(run.Events, obs.ExportConfig{
+			NumCPUs: run.Workers, AppNames: run.AppNames, Instants: true,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := of.EmitMetrics(run.Registry); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := of.EmitOccupancy(os.Stdout, run.Profiler, run.AppNames); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

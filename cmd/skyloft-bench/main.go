@@ -15,10 +15,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"skyloft/internal/apps/server"
 	"skyloft/internal/bench"
+	"skyloft/internal/obs"
 	"skyloft/internal/simtime"
 )
 
@@ -26,6 +28,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	seed := flag.Uint64("seed", 1, "random seed")
 	par := flag.Int("par", 0, "max parallel trials (0 = GOMAXPROCS, 1 = serial)")
+	of := obs.BindFlags()
 	flag.Parse()
 	bench.SetSweepWorkers(*par)
 
@@ -45,6 +48,36 @@ func main() {
 	section := func(name string) {
 		fmt.Printf("==== %s (t=%.0fs) ====\n", name, time.Since(start).Seconds())
 	}
+
+	section("Span-derived wakeup latency (per app)")
+	obsDur := 50 * simtime.Millisecond
+	if *quick {
+		obsDur = 10 * simtime.Millisecond
+	}
+	run := bench.ObservedRun(*seed, obsDur, of.Occupancy)
+	if err := run.Spans.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "SPAN VIOLATION: %v\n", err)
+		os.Exit(1)
+	}
+	if err := run.Spans.Report(os.Stdout, run.AppNames); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := of.EmitTrace(run.Events, obs.ExportConfig{
+		NumCPUs: run.Workers, AppNames: run.AppNames, Instants: true,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := of.EmitMetrics(run.Registry); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := of.EmitOccupancy(os.Stdout, run.Profiler, run.AppNames); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println()
 
 	section("Fig 5: schbench wakeup latency")
 	p99, p50 := bench.Fig5(workers, reqs, *seed)

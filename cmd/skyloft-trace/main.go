@@ -4,9 +4,15 @@
 // repository's analogue of `trace-cmd record && trace-cmd report` for the
 // simulated machine.
 //
+// With the observability flags it also exports the run: -trace-out writes a
+// Perfetto/Chrome trace_event JSON (open at https://ui.perfetto.dev),
+// -metrics-out snapshots the metrics registry, and -occupancy prints the
+// per-core busy/idle/kernel shares sampled on the virtual clock.
+//
 // Usage:
 //
-//	skyloft-trace [-n 40] [-dur 5ms] [-threads 8]
+//	skyloft-trace [-n 40] [-dur 5ms] [-threads 8] \
+//	              [-trace-out trace.json] [-metrics-out metrics.json] [-occupancy]
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"skyloft/internal/core"
 	"skyloft/internal/cycles"
 	"skyloft/internal/hw"
+	"skyloft/internal/obs"
 	"skyloft/internal/policy/mlfq"
 	"skyloft/internal/sched"
 	"skyloft/internal/simtime"
@@ -28,6 +35,7 @@ func main() {
 	n := flag.Int("n", 40, "events to dump at the end")
 	dur := flag.Duration("dur", 5*time.Millisecond, "virtual run length")
 	threads := flag.Int("threads", 8, "churn threads")
+	of := obs.BindFlags()
 	flag.Parse()
 
 	tr := trace.New(1 << 18)
@@ -43,6 +51,14 @@ func main() {
 		Trace:     tr,
 	})
 	defer engine.Shutdown()
+
+	var reg obs.Registry
+	engine.RegisterMetrics(&reg)
+	var prof *obs.Profiler
+	if of.Occupancy {
+		prof = engine.NewOccupancyProfiler(0)
+		prof.Start()
+	}
 
 	lc := engine.NewApp("lc")
 	be := engine.NewApp("batch")
@@ -67,15 +83,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "INVARIANT VIOLATION: %v\n", err)
 		os.Exit(1)
 	}
-	s := trace.Summarise(events)
+	s := tr.Counts()
 	fmt.Printf("trace: %d events (%d retained) — invariants OK\n", tr.Total(), len(events))
 	fmt.Printf("dispatches=%d preempts=%d yields=%d blocks=%d wakes=%d appswitches=%d steals=%d\n\n",
 		s.Dispatches, s.Preempts, s.Yields, s.Blocks, s.Wakes, s.AppSwitches, s.Steals)
+
+	spans := obs.BuildSpans(events)
+	if err := spans.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "SPAN VIOLATION: %v\n", err)
+		os.Exit(1)
+	}
+	names := engine.AppNames()
+	if err := spans.Report(os.Stdout, names); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println()
+
 	start := len(events) - *n
 	if start < 0 {
 		start = 0
 	}
 	for _, ev := range events[start:] {
 		fmt.Println(ev)
+	}
+
+	if err := of.EmitTrace(events, obs.ExportConfig{
+		NumCPUs: engine.Workers(), AppNames: names, Instants: true,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := of.EmitMetrics(&reg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := of.EmitOccupancy(os.Stdout, prof, names); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

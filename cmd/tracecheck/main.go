@@ -1,0 +1,34 @@
+// Command tracecheck validates a Perfetto/Chrome trace_event JSON file
+// produced by the observability layer: the document must parse, carry a
+// named track plus at least one complete-duration ("ph":"X") slice for every
+// expected CPU, and every slice must have a non-negative duration. It is the
+// machine half of `make trace-smoke`.
+//
+// Usage:
+//
+//	tracecheck -cpus 2 trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"skyloft/internal/obs"
+)
+
+func main() {
+	cpus := flag.Int("cpus", 0, "expected number of per-CPU tracks")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck -cpus N trace.json")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	if err := obs.CheckTraceFile(path, *cpus); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %s OK (%d per-CPU tracks)\n", path, *cpus)
+}

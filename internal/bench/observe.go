@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"skyloft/internal/core"
+	"skyloft/internal/cycles"
+	"skyloft/internal/obs"
+	"skyloft/internal/policy/rr"
+	"skyloft/internal/sched"
+	"skyloft/internal/simtime"
+	"skyloft/internal/trace"
+)
+
+// Observed is the result of one fully instrumented run: the raw event
+// window, the stitched lifecycle spans, and the metrics/occupancy outputs.
+// It backs the cmds' observability section and the span-derived
+// wakeup-latency percentiles skyloft-bench reports per application.
+type Observed struct {
+	Ring     *trace.Ring
+	Events   []trace.Event
+	Spans    *obs.SpanSet
+	AppNames []string
+	Registry *obs.Registry
+	Profiler *obs.Profiler
+	Workers  int
+}
+
+// ObservedRun executes a preemption-heavy two-application workload (a
+// latency-critical app against a batch co-runner on a small partition) with
+// the tracer, the metrics registry and — when profile is set — the occupancy
+// profiler attached, then stitches the trace into spans.
+func ObservedRun(seed uint64, dur simtime.Duration, profile bool) *Observed {
+	m := newMachine()
+	tr := trace.New(1 << 16)
+	e := core.New(core.Config{
+		Machine: m, Trace: tr, Seed: seed,
+		CPUs: cpuList(4), Mode: core.PerCPU,
+		Policy:    rr.New(25 * simtime.Microsecond),
+		TimerMode: core.TimerLAPIC, TimerHz: SkyloftTimerHz,
+		Costs: core.SkyloftCosts(cycles.Default()),
+	})
+	defer e.Shutdown()
+
+	reg := &obs.Registry{}
+	e.RegisterMetrics(reg)
+	var prof *obs.Profiler
+	if profile {
+		prof = e.NewOccupancyProfiler(0)
+		prof.Start()
+	}
+
+	lc := e.NewApp("lc")
+	batch := e.NewApp("batch")
+	for i := 0; i < 8; i++ {
+		lc.Start("lc-w", func(env sched.Env) {
+			for {
+				env.Run(simtime.Duration(2+env.Rand().Intn(15)) * simtime.Microsecond)
+				env.Sleep(simtime.Duration(5+env.Rand().Intn(40)) * simtime.Microsecond)
+			}
+		})
+	}
+	for i := 0; i < 4; i++ {
+		batch.Start("batch-w", func(env sched.Env) {
+			for {
+				env.Run(simtime.Duration(50+env.Rand().Intn(200)) * simtime.Microsecond)
+				if env.Rand().Bernoulli(0.2) {
+					env.Sleep(simtime.Duration(10+env.Rand().Intn(50)) * simtime.Microsecond)
+				} else if env.Rand().Bernoulli(0.3) {
+					env.Yield()
+				}
+			}
+		})
+	}
+	e.Run(simtime.Time(dur))
+
+	events := tr.Events()
+	return &Observed{
+		Ring:     tr,
+		Events:   events,
+		Spans:    obs.BuildSpans(events),
+		AppNames: e.AppNames(),
+		Registry: reg,
+		Profiler: prof,
+		Workers:  e.Workers(),
+	}
+}

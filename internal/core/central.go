@@ -29,11 +29,13 @@ func (e *Engine) centralSubmit(t *sched.Thread, flags EnqueueFlags) {
 			e.allocState.beQueues = make(map[int][]*sched.Thread)
 		}
 		e.allocState.beQueues[t.App] = append(e.allocState.beQueues[t.App], t)
+		e.qUp()
 		e.pokeDispatcher()
 		return
 	}
 	t.EnqueuedAt = e.m.Now()
 	e.central.Enqueue(t, flags)
+	e.qUp()
 	e.pokeDispatcher()
 }
 
@@ -80,6 +82,7 @@ func (e *Engine) idleWorker() *coreCtx {
 
 // assign hands task t to worker w and schedules the quantum check.
 func (e *Engine) assign(w *coreCtx, t *sched.Thread) {
+	e.qDown()
 	w.idle = false
 	w.assignSeq++
 	seq := w.assignSeq
@@ -172,6 +175,7 @@ func (e *Engine) preemptWorker(c *coreCtx, ranFor simtime.Duration, _ any) {
 		t.EnqueuedAt = e.m.Now()
 		e.central.Enqueue(t, EnqPreempted)
 	}
+	e.qUp()
 	e.workerBecameIdle(c)
 }
 

@@ -166,6 +166,13 @@ type Engine struct {
 	steals      uint64
 	faults      uint64
 
+	// Runnable-queue depth bookkeeping (tasks enqueued anywhere — policy
+	// runqueues, the central queue, BE side queues — but not yet given a
+	// core). Plain integer updates on paths that already mutate queues, so
+	// tracking is always on without perturbing behaviour.
+	runqDepth     int64
+	runqHighWater int64
+
 	// centralized-mode state (central.go)
 	dispatchArmed bool
 	dispatchFn    func()
@@ -634,6 +641,22 @@ func (e *Engine) Shutdown() {
 
 // ---- scheduling core (per-CPU model) ----
 
+// qUp/qDown maintain the runnable-queue depth and its high-water mark:
+// qUp at every enqueue site, qDown when a dequeued task takes a core
+// (startTask / assign — the only two exits from any queue).
+func (e *Engine) qUp() {
+	e.runqDepth++
+	if e.runqDepth > e.runqHighWater {
+		e.runqHighWater = e.runqDepth
+	}
+}
+
+func (e *Engine) qDown() {
+	if e.runqDepth > 0 {
+		e.runqDepth--
+	}
+}
+
 // submit makes a runnable task visible to the scheduler.
 func (e *Engine) submit(t *sched.Thread, flags EnqueueFlags) {
 	if e.mode == Centralized {
@@ -643,6 +666,7 @@ func (e *Engine) submit(t *sched.Thread, flags EnqueueFlags) {
 	t.EnqueuedAt = e.m.Now()
 	cpu := e.policy.PickCPU(t, e.idleMask())
 	e.policy.TaskEnqueue(cpu, t, flags)
+	e.qUp()
 	c := e.cores[cpu]
 	if c.idle {
 		e.kick(c)
@@ -706,6 +730,7 @@ func (e *Engine) scheduleNext(c *coreCtx) {
 // when t belongs to a different application — the kernel-module switch
 // (Figure 4's B→C path).
 func (e *Engine) startTask(c *coreCtx, t *sched.Thread) {
+	e.qDown()
 	c.idle = false
 	c.setCurr(t)
 	ep := c.epoch
@@ -869,6 +894,7 @@ func (e *Engine) tickResume(c *coreCtx) {
 		}
 		t.State = sched.Runnable
 		e.policy.TaskEnqueue(c.idx, t, EnqPreempted)
+		e.qUp()
 		c.setCurr(nil)
 		e.scheduleNext(c)
 	case t != nil:
@@ -962,6 +988,7 @@ func (e *Engine) resumeThread(c *coreCtx, t *sched.Thread, resp any) {
 				e.centralSubmit(t, EnqYield)
 			} else {
 				e.policy.TaskEnqueue(c.idx, t, EnqYield)
+				e.qUp()
 			}
 			e.scheduleNext(c)
 			return

@@ -1,0 +1,127 @@
+package core_test
+
+// Observability integration: span stitching must be a deterministic function
+// of the seed, and attaching the profiler/registry must not perturb the
+// engine's trace hash (the observability layer is read-only by design).
+
+import (
+	"testing"
+
+	"skyloft/internal/core"
+	"skyloft/internal/cycles"
+	"skyloft/internal/hw"
+	"skyloft/internal/obs"
+	"skyloft/internal/policy/rr"
+	"skyloft/internal/sched"
+	"skyloft/internal/simtime"
+	"skyloft/internal/trace"
+)
+
+// runObsScenario runs a mixed two-app workload with the full observability
+// stack attached (when instrument is true) and returns the trace hash, the
+// stitched span set, and the occupancy report (nil when not instrumented).
+func runObsScenario(seed uint64, instrument bool) (uint64, *obs.SpanSet, []obs.CoreOccupancy) {
+	m := hw.NewMachine(hw.DefaultConfig())
+	tr := trace.New(1 << 14)
+	cfg := core.Config{
+		Machine: m, Trace: tr, Seed: seed,
+		CPUs: []int{0, 1, 2}, Mode: core.PerCPU,
+		Policy:    rr.New(25 * simtime.Microsecond),
+		TimerMode: core.TimerLAPIC, TimerHz: 100_000,
+		Costs: core.SkyloftCosts(cycles.Default()),
+	}
+	e := core.New(cfg)
+	defer e.Shutdown()
+
+	var prof *obs.Profiler
+	if instrument {
+		var reg obs.Registry
+		e.RegisterMetrics(&reg)
+		prof = e.NewOccupancyProfiler(2 * simtime.Microsecond)
+		prof.Start()
+	}
+
+	for ai := 0; ai < 2; ai++ {
+		app := e.NewApp("app")
+		for i := 0; i < 6; i++ {
+			app.Start("w", func(env sched.Env) {
+				for r := 0; r < 30; r++ {
+					switch env.Rand().Intn(3) {
+					case 0:
+						env.Run(simtime.Duration(3+env.Rand().Intn(40)) * simtime.Microsecond)
+					case 1:
+						env.Sleep(simtime.Duration(1+env.Rand().Intn(20)) * simtime.Microsecond)
+					default:
+						env.Yield()
+					}
+				}
+			})
+		}
+	}
+	e.Run(10 * simtime.Millisecond)
+
+	ss := obs.BuildSpans(tr.Events())
+	var occ []obs.CoreOccupancy
+	if prof != nil {
+		occ = prof.Report()
+	}
+	return tr.Hash(), ss, occ
+}
+
+// TestSpanDeterminism is the stitching determinism witness: same seed, twice,
+// must yield byte-identical span sets and identical per-app wakeup-latency
+// histograms.
+func TestSpanDeterminism(t *testing.T) {
+	_, ss1, _ := runObsScenario(3, false)
+	_, ss2, _ := runObsScenario(3, false)
+	if err := ss1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ss1.Spans) == 0 {
+		t.Fatal("scenario produced no spans")
+	}
+	if len(ss1.Spans) != len(ss2.Spans) || ss1.Hash() != ss2.Hash() {
+		t.Fatalf("span sets diverged: %d spans %#x vs %d spans %#x",
+			len(ss1.Spans), ss1.Hash(), len(ss2.Spans), ss2.Hash())
+	}
+	a1, a2 := ss1.PerApp(), ss2.PerApp()
+	if len(a1) != len(a2) {
+		t.Fatalf("per-app bucket counts diverged: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		h1, h2 := a1[i].WakeupHist, a2[i].WakeupHist
+		if h1.Count() != h2.Count() || h1.P50() != h2.P50() ||
+			h1.P99() != h2.P99() || h1.P999() != h2.P999() || h1.Max() != h2.Max() {
+			t.Fatalf("app %d wakeup histograms diverged", a1[i].App)
+		}
+	}
+}
+
+// TestObservabilityDoesNotPerturb attaches the registry and the occupancy
+// profiler and requires the trace hash to match the uninstrumented run —
+// observability must be invisible to the scheduler.
+func TestObservabilityDoesNotPerturb(t *testing.T) {
+	hBare, ssBare, _ := runObsScenario(9, false)
+	hObs, ssObs, occ := runObsScenario(9, true)
+	if hBare != hObs {
+		t.Fatalf("instrumentation perturbed the trace: %#x vs %#x", hBare, hObs)
+	}
+	if ssBare.Hash() != ssObs.Hash() {
+		t.Fatalf("instrumentation perturbed the spans: %#x vs %#x", ssBare.Hash(), ssObs.Hash())
+	}
+	if len(occ) != 3 {
+		t.Fatalf("occupancy report covers %d cores, want 3", len(occ))
+	}
+	for _, c := range occ {
+		if c.Samples == 0 {
+			t.Fatalf("cpu %d never sampled", c.CPU)
+		}
+		sum := c.Idle + c.Kernel
+		for _, a := range c.Apps {
+			sum += a
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("cpu %d shares sum to %v", c.CPU, sum)
+		}
+	}
+}

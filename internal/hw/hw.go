@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"skyloft/internal/cycles"
+	"skyloft/internal/obs"
 	"skyloft/internal/simtime"
 )
 
@@ -55,6 +56,7 @@ type Machine struct {
 
 	coresPerSocket int
 	ipisSent       uint64
+	irqsCoalesced  uint64     // interrupt edges absorbed by a pending vector
 	ipiFree        *ipiFlight // recycled in-flight IPI records
 }
 
@@ -113,6 +115,29 @@ func (m *Machine) SameSocket(a, b int) bool { return m.Socket(a) == m.Socket(b) 
 
 // IPIsSent reports the total number of inter-processor interrupts sent.
 func (m *Machine) IPIsSent() uint64 { return m.ipisSent }
+
+// IRQsCoalesced reports interrupt edges that were absorbed because the same
+// vector was already pending on the target core (local-APIC IRR semantics).
+func (m *Machine) IRQsCoalesced() uint64 { return m.irqsCoalesced }
+
+// TimerFires reports timer interrupts fired across all cores.
+func (m *Machine) TimerFires() uint64 {
+	var n uint64
+	for _, c := range m.Cores {
+		n += c.Timer.Fires()
+	}
+	return n
+}
+
+// RegisterMetrics exposes the machine's fabric counters on the registry.
+// Everything is func-backed: the hot paths keep their plain counters and
+// the registry reads them only at snapshot time.
+func (m *Machine) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("hw.ipis.sent", func() uint64 { return m.ipisSent })
+	r.CounterFunc("hw.irqs.coalesced", func() uint64 { return m.irqsCoalesced })
+	r.CounterFunc("hw.timer.fires", m.TimerFires)
+	r.CounterFunc("hw.clock.dispatched", m.Clock.Dispatched)
+}
 
 // SendIPI posts an interrupt from core `from` to core `to` after the given
 // wire delay. The *send-side* cost must be charged separately by the caller
@@ -263,6 +288,7 @@ func (c *Core) StopRun() simtime.Duration {
 func (c *Core) Interrupt(irq IRQ) {
 	for i := c.pendingHead; i < len(c.pending); i++ {
 		if c.pending[i].Vector == irq.Vector {
+			c.m.irqsCoalesced++
 			return // already pending; edge coalesced
 		}
 	}

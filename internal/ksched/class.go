@@ -15,9 +15,14 @@ func (c *cpu) pickNext() *sched.Thread {
 	if len(c.rt) > 0 {
 		t := c.rt[0]
 		c.rt = c.rt[1:]
+		c.k.runqDepth--
 		return t
 	}
-	return c.pickFair()
+	t := c.pickFair()
+	if t != nil {
+		c.k.runqDepth--
+	}
+	return t
 }
 
 // pickFair selects from the fair runnable set. CFS and BATCH pick the

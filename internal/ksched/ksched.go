@@ -17,6 +17,7 @@ import (
 
 	"skyloft/internal/cycles"
 	"skyloft/internal/hw"
+	"skyloft/internal/obs"
 	"skyloft/internal/proc"
 	"skyloft/internal/rng"
 	"skyloft/internal/sched"
@@ -118,6 +119,12 @@ type Kernel struct {
 	WakeupHist *stats.Hist
 
 	ctxSwitches uint64
+	reschedIPIs uint64
+
+	// Runnable-queue depth across all CPUs (rt + fair sets) and its
+	// high-water mark, maintained by enqueue/pickNext.
+	runqDepth     int64
+	runqHighWater int64
 }
 
 // kthread is the kernel-side descriptor attached to sched.Thread.EngData.
@@ -232,6 +239,21 @@ func (k *Kernel) Machine() *hw.Machine { return k.m }
 
 // ContextSwitches reports the number of kernel context switches performed.
 func (k *Kernel) ContextSwitches() uint64 { return k.ctxSwitches }
+
+// ReschedIPIs reports wakeup-preemption IPIs sent between CPUs.
+func (k *Kernel) ReschedIPIs() uint64 { return k.reschedIPIs }
+
+// RegisterMetrics registers the kernel's scheduler counters (and the
+// underlying machine's fabric counters) on r. All entries are func-backed
+// reads of fields the kernel maintains anyway.
+func (k *Kernel) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("ksched.ctx_switches", func() uint64 { return k.ctxSwitches })
+	r.CounterFunc("ksched.resched_ipis", func() uint64 { return k.reschedIPIs })
+	r.GaugeFunc("ksched.runq.depth", func() int64 { return k.runqDepth })
+	r.GaugeFunc("ksched.runq.high_water", func() int64 { return k.runqHighWater })
+	r.AttachHistogram("ksched.wakeup_latency", k.WakeupHist)
+	k.m.RegisterMetrics(r)
+}
 
 // Threads reports all threads ever created.
 func (k *Kernel) Threads() []*sched.Thread { return k.threads }
@@ -489,6 +511,10 @@ func (c *cpu) dispatch(t *sched.Thread) {
 // enqueue adds t to the appropriate class queue on this CPU.
 func (c *cpu) enqueue(t *sched.Thread, wakeup bool) {
 	t.EnqueuedAt = c.now()
+	c.k.runqDepth++
+	if c.k.runqDepth > c.k.runqHighWater {
+		c.k.runqHighWater = c.k.runqDepth
+	}
 	k := kt(t)
 	switch k.class {
 	case ClassRR, ClassFIFO:
@@ -579,6 +605,7 @@ func (c *cpu) sendResched() {
 		return
 	}
 	c.reschedSent = true
+	c.k.reschedIPIs++
 	// Kernel IPI: sender-side cost is charged to the waker's CPU by the
 	// wake path (folded into the syscall cost); wire delay here.
 	c.k.m.SendIPI(-2, c.hwc.ID, reschedVector, c.k.cost.KernelIPIDeliver, nil)

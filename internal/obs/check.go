@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// CheckTrace verifies a decoded trace_event document: every CPU in
+// [0, cpus) must have a named thread track and at least one
+// complete-duration slice, and no slice may have a negative duration.
+func CheckTrace(tf *TraceFile, cpus int) error {
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("no trace events")
+	}
+	named := map[int]bool{}
+	slices := map[int]int{}
+	for i, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				named[e.Tid] = true
+			}
+		case "X":
+			if e.Dur < 0 {
+				return fmt.Errorf("event %d: negative slice duration %v", i, e.Dur)
+			}
+			slices[e.Tid]++
+		}
+	}
+	for cpu := 0; cpu < cpus; cpu++ {
+		if !named[cpu] {
+			return fmt.Errorf("cpu %d: no thread_name track", cpu)
+		}
+		if slices[cpu] == 0 {
+			return fmt.Errorf("cpu %d: no complete-duration slices", cpu)
+		}
+	}
+	return nil
+}
+
+// CheckTraceFile parses path as trace_event JSON and runs CheckTrace — the
+// round-trip guard used by `make trace-smoke`.
+func CheckTraceFile(path string, cpus int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf TraceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("not valid trace_event JSON: %w", err)
+	}
+	return CheckTrace(&tf, cpus)
+}

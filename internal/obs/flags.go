@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"skyloft/internal/trace"
+)
+
+// Flags is the standard observability flag set shared by the cmds
+// (skyloft-trace, skyloft-bench, schbench): -trace-out, -metrics-out and
+// -occupancy. Bind before flag.Parse.
+type Flags struct {
+	TraceOut   string
+	MetricsOut string
+	Occupancy  bool
+}
+
+// BindFlags registers the observability flags on the default CommandLine
+// flag set.
+func BindFlags() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.TraceOut, "trace-out", "", "write a Perfetto/Chrome trace_event JSON file")
+	flag.StringVar(&f.MetricsOut, "metrics-out", "", "write a metrics-registry snapshot as JSON")
+	flag.BoolVar(&f.Occupancy, "occupancy", false, "print the per-core occupancy profile")
+	return f
+}
+
+// Active reports whether any observability output was requested.
+func (f *Flags) Active() bool {
+	return f.TraceOut != "" || f.MetricsOut != "" || f.Occupancy
+}
+
+// EmitTrace writes the event window as trace_event JSON to the -trace-out
+// path (no-op when unset).
+func (f *Flags) EmitTrace(events []trace.Event, cfg ExportConfig) error {
+	if f.TraceOut == "" {
+		return nil
+	}
+	out, err := os.Create(f.TraceOut)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := WritePerfetto(out, events, cfg); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d events) — open at https://ui.perfetto.dev\n",
+		f.TraceOut, len(events))
+	return out.Close()
+}
+
+// EmitMetrics writes the registry snapshot as JSON to the -metrics-out path
+// (no-op when unset).
+func (f *Flags) EmitMetrics(reg *Registry) error {
+	if f.MetricsOut == "" {
+		return nil
+	}
+	out, err := os.Create(f.MetricsOut)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := reg.WriteJSON(out); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// EmitOccupancy prints the occupancy report to w when -occupancy was given
+// (no-op otherwise).
+func (f *Flags) EmitOccupancy(w io.Writer, p *Profiler, appNames []string) error {
+	if !f.Occupancy || p == nil {
+		return nil
+	}
+	return p.WriteReport(w, appNames)
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"skyloft/internal/trace"
+)
+
+// Chrome trace_event JSON (the "JSON Array with metadata" flavour), loadable
+// in ui.perfetto.dev and chrome://tracing. Layout: one process ("skyloft
+// machine"), one thread track per simulated CPU carrying complete-duration
+// ("ph":"X") slices for every on-CPU interval, instant events on the core
+// tracks for IPI-ish moments (steals, app switches), and a dedicated track
+// for wakes (which are not core-scoped: CPU = -1).
+
+// TraceEvent is one trace_event record. Timestamps and durations are in
+// microseconds, per the format; Args carry the raw ns values.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`    // instant scope: "t" thread
+	Cat  string         `json:"cat,omitempty"`  // event category
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the top-level trace_event JSON document.
+type TraceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// ExportConfig parameterises WritePerfetto.
+type ExportConfig struct {
+	// NumCPUs forces a track (thread_name metadata) per worker CPU even if
+	// some recorded no events — the Perfetto view should show the whole
+	// machine. 0 derives it from the events.
+	NumCPUs int
+	// AppNames labels slices "app/task-id"; missing entries fall back to
+	// "app<N>".
+	AppNames []string
+	// Instants includes instant events (wakes, steals, app switches) in
+	// addition to the on-CPU slices.
+	Instants bool
+}
+
+const tracePid = 1
+
+// wakeTrackTid reports the synthetic track for non-core-scoped events.
+func wakeTrackTid(numCPUs int) int { return numCPUs }
+
+func (c *ExportConfig) appLabel(app int) string {
+	if app >= 0 && app < len(c.AppNames) && c.AppNames[app] != "" {
+		return c.AppNames[app]
+	}
+	return fmt.Sprintf("app%d", app)
+}
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// BuildPerfetto converts a chronological event window into a trace_event
+// document. Slices are built per core: a Dispatch opens the slice, the next
+// off-CPU event for that core closes it; a slice still open at the window's
+// end is emitted as running to the last event's timestamp.
+func BuildPerfetto(events []trace.Event, cfg ExportConfig) *TraceFile {
+	numCPUs := cfg.NumCPUs
+	for _, ev := range events {
+		if ev.CPU >= numCPUs {
+			numCPUs = ev.CPU + 1
+		}
+	}
+	tf := &TraceFile{DisplayTimeUnit: "ns", TraceEvents: []TraceEvent{}}
+	add := func(ev TraceEvent) { tf.TraceEvents = append(tf.TraceEvents, ev) }
+
+	add(TraceEvent{Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"name": "skyloft machine"}})
+	for cpu := 0; cpu < numCPUs; cpu++ {
+		add(TraceEvent{Name: "thread_name", Ph: "M", Pid: tracePid, Tid: cpu,
+			Args: map[string]any{"name": fmt.Sprintf("cpu %d", cpu)}})
+	}
+	add(TraceEvent{Name: "thread_name", Ph: "M", Pid: tracePid, Tid: wakeTrackTid(numCPUs),
+		Args: map[string]any{"name": "wakes"}})
+
+	// Open slice per core.
+	type openSlice struct {
+		task, app int
+		start     int64
+		active    bool
+	}
+	open := make([]openSlice, numCPUs)
+	var lastAt int64
+	closeSlice := func(cpu int, endNs int64, reason string) {
+		o := &open[cpu]
+		if !o.active {
+			return
+		}
+		o.active = false
+		add(TraceEvent{
+			Name: fmt.Sprintf("%s/task-%d", cfg.appLabel(o.app), o.task),
+			Ph:   "X", Cat: "sched",
+			Ts: usec(o.start), Dur: usec(endNs - o.start),
+			Pid: tracePid, Tid: cpu,
+			Args: map[string]any{"task": o.task, "app": o.app, "end": reason},
+		})
+	}
+
+	for _, ev := range events {
+		at := int64(ev.At)
+		lastAt = at
+		switch ev.Kind {
+		case trace.Dispatch:
+			if ev.CPU >= 0 {
+				// A dispatch over a still-open slice (truncated window)
+				// closes the stale slice at the new start.
+				closeSlice(ev.CPU, at, "truncated")
+				open[ev.CPU] = openSlice{task: ev.Task, app: ev.App, start: at, active: true}
+			}
+		case trace.Preempt, trace.Yield, trace.Block, trace.Sleep, trace.Exit:
+			if ev.CPU >= 0 {
+				closeSlice(ev.CPU, at, ev.Kind.String())
+			}
+		case trace.Wake:
+			if cfg.Instants {
+				add(TraceEvent{
+					Name: fmt.Sprintf("wake %s/task-%d", cfg.appLabel(ev.App), ev.Task),
+					Ph:   "i", Cat: "wake", S: "t",
+					Ts: usec(at), Pid: tracePid, Tid: wakeTrackTid(numCPUs),
+					Args: map[string]any{"task": ev.Task, "app": ev.App},
+				})
+			}
+		case trace.Steal, trace.AppSwitch, trace.Fault:
+			if cfg.Instants && ev.CPU >= 0 {
+				add(TraceEvent{
+					Name: ev.Kind.String(),
+					Ph:   "i", Cat: "sched", S: "t",
+					Ts: usec(at), Pid: tracePid, Tid: ev.CPU,
+					Args: map[string]any{"task": ev.Task, "app": ev.App, "arg": ev.Arg},
+				})
+			}
+		}
+	}
+	for cpu := range open {
+		closeSlice(cpu, lastAt, "window-end")
+	}
+	return tf
+}
+
+// WritePerfetto renders the window as trace_event JSON on w.
+func WritePerfetto(w io.Writer, events []trace.Event, cfg ExportConfig) error {
+	return json.NewEncoder(w).Encode(BuildPerfetto(events, cfg))
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"skyloft/internal/trace"
+)
+
+func TestPerfettoRoundTripAndTracks(t *testing.T) {
+	events := []trace.Event{
+		ev(1000, trace.Wake, -1, 1, 0),
+		ev(2000, trace.Dispatch, 0, 1, 0),
+		ev(3000, trace.Dispatch, 1, 2, 1),
+		ev(5000, trace.Preempt, 0, 1, 0),
+		ev(6000, trace.Steal, 0, 2, 1),
+		ev(7000, trace.Dispatch, 0, 1, 0),
+		ev(9000, trace.Exit, 1, 2, 1),
+		ev(9500, trace.Block, 0, 1, 0),
+	}
+	cfg := ExportConfig{NumCPUs: 2, AppNames: []string{"lc", "be"}, Instants: true}
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, events, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var tf TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+
+	slicesPerTid := map[int]int{}
+	namedTids := map[int]bool{}
+	instants := 0
+	for _, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slicesPerTid[e.Tid]++
+			if e.Dur <= 0 {
+				t.Fatalf("non-positive slice duration: %+v", e)
+			}
+		case "M":
+			if e.Name == "thread_name" {
+				namedTids[e.Tid] = true
+			}
+		case "i":
+			instants++
+		}
+	}
+	// One complete-duration track per simulated CPU.
+	for cpu := 0; cpu < cfg.NumCPUs; cpu++ {
+		if slicesPerTid[cpu] == 0 {
+			t.Fatalf("cpu %d has no slices: %v", cpu, slicesPerTid)
+		}
+		if !namedTids[cpu] {
+			t.Fatalf("cpu %d track unnamed", cpu)
+		}
+	}
+	if !namedTids[wakeTrackTid(cfg.NumCPUs)] {
+		t.Fatal("wake track unnamed")
+	}
+	if slicesPerTid[0] != 2 || slicesPerTid[1] != 1 {
+		t.Fatalf("slice counts wrong: %v", slicesPerTid)
+	}
+	if instants != 2 { // wake + steal
+		t.Fatalf("want 2 instants, got %d", instants)
+	}
+}
+
+func TestPerfettoClosesTrailingSlices(t *testing.T) {
+	events := []trace.Event{
+		ev(100, trace.Dispatch, 0, 1, 0),
+		ev(900, trace.Wake, -1, 2, 0), // window ends with cpu0 still running
+	}
+	tf := BuildPerfetto(events, ExportConfig{NumCPUs: 1})
+	found := false
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "X" && e.Tid == 0 {
+			found = true
+			if e.Args["end"] != "window-end" {
+				t.Fatalf("trailing slice not marked window-end: %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("trailing open slice was dropped")
+	}
+}

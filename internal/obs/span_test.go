@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"skyloft/internal/simtime"
+	"skyloft/internal/trace"
+)
+
+func ev(at simtime.Time, k trace.Kind, cpu, task, app int) trace.Event {
+	return trace.Event{At: at, Kind: k, CPU: cpu, Task: task, App: app}
+}
+
+func TestBuildSpansSimpleEpisode(t *testing.T) {
+	// wake@10, dispatch@13, preempt@20, dispatch@25, block@31
+	events := []trace.Event{
+		ev(10, trace.Wake, -1, 1, 0),
+		ev(13, trace.Dispatch, 0, 1, 0),
+		ev(20, trace.Preempt, 0, 1, 0),
+		ev(25, trace.Dispatch, 0, 1, 0),
+		ev(31, trace.Block, 0, 1, 0),
+	}
+	ss := BuildSpans(events)
+	if err := ss.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Spans) != 1 || ss.Incomplete != 0 || ss.Orphans != 0 {
+		t.Fatalf("unexpected set: %+v", ss)
+	}
+	s := ss.Spans[0]
+	if !s.WakeKnown || s.WakeLatency() != 3 || s.Run != 13 || s.Preempted != 5 ||
+		s.Dispatches != 2 || s.EndKind != trace.Block || s.Sojourn() != 21 {
+		t.Fatalf("wrong span: %v", s)
+	}
+}
+
+func TestBuildSpansBlockedBetweenEpisodes(t *testing.T) {
+	events := []trace.Event{
+		ev(0, trace.Wake, -1, 1, 0),
+		ev(2, trace.Dispatch, 0, 1, 0),
+		ev(5, trace.Sleep, 0, 1, 0),
+		ev(15, trace.Wake, -1, 1, 0), // blocked 10ns
+		ev(16, trace.Dispatch, 0, 1, 0),
+		ev(20, trace.Exit, 0, 1, 0),
+	}
+	ss := BuildSpans(events)
+	if err := ss.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Spans) != 2 {
+		t.Fatalf("want 2 spans, got %+v", ss)
+	}
+	if ss.Spans[0].Blocked != 0 || ss.Spans[1].Blocked != 10 {
+		t.Fatalf("blocked accounting wrong: %v / %v", ss.Spans[0], ss.Spans[1])
+	}
+	if ss.Spans[1].EndKind != trace.Exit {
+		t.Fatalf("end kind wrong: %v", ss.Spans[1])
+	}
+}
+
+func TestBuildSpansDispatchWithoutWake(t *testing.T) {
+	// Initial submission: first dispatch has no Wake.
+	events := []trace.Event{
+		ev(5, trace.Dispatch, 0, 1, 0),
+		ev(9, trace.Block, 0, 1, 0),
+	}
+	ss := BuildSpans(events)
+	if err := ss.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Spans) != 1 {
+		t.Fatalf("want 1 span: %+v", ss)
+	}
+	s := ss.Spans[0]
+	if s.WakeKnown || s.WakeLatency() != 0 || s.Run != 4 {
+		t.Fatalf("wrong span: %v", s)
+	}
+}
+
+func TestBuildSpansOrphansAndIncomplete(t *testing.T) {
+	events := []trace.Event{
+		ev(1, trace.Preempt, 0, 7, 0),  // off-CPU event with no open episode
+		ev(2, trace.Block, 0, 8, 0),    // same
+		ev(3, trace.Wake, -1, 9, 0),    // opens, never closes
+		ev(4, trace.Dispatch, 0, 9, 0), // running at window end
+	}
+	ss := BuildSpans(events)
+	if len(ss.Spans) != 0 || ss.Orphans != 2 || ss.Incomplete != 1 {
+		t.Fatalf("unexpected set: %+v", ss)
+	}
+}
+
+func TestBuildSpansStealKeepsPreemptedTime(t *testing.T) {
+	// preempt@10 on cpu0, stolen@14, dispatched on cpu1@18: the 8ns between
+	// preempt and redispatch is Preempted time regardless of the steal.
+	events := []trace.Event{
+		ev(0, trace.Wake, -1, 1, 0),
+		ev(1, trace.Dispatch, 0, 1, 0),
+		ev(10, trace.Preempt, 0, 1, 0),
+		ev(14, trace.Steal, 1, 1, 0),
+		ev(18, trace.Dispatch, 1, 1, 0),
+		ev(30, trace.Block, 1, 1, 0),
+	}
+	ss := BuildSpans(events)
+	if err := ss.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Spans) != 1 || ss.Spans[0].Preempted != 8 || ss.Spans[0].Run != 21 {
+		t.Fatalf("unexpected set: %+v", ss)
+	}
+}
+
+func TestSpanHashOrderSensitive(t *testing.T) {
+	a := &SpanSet{Spans: []Span{{Task: 1, Run: 5}, {Task: 2, Run: 7}}}
+	b := &SpanSet{Spans: []Span{{Task: 2, Run: 7}, {Task: 1, Run: 5}}}
+	if a.Hash() == b.Hash() {
+		t.Fatal("hash ignores order")
+	}
+	c := &SpanSet{Spans: []Span{{Task: 1, Run: 5}, {Task: 2, Run: 7}}}
+	if a.Hash() != c.Hash() {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestPerAppAndReport(t *testing.T) {
+	events := []trace.Event{
+		ev(0, trace.Wake, -1, 1, 0),
+		ev(4, trace.Dispatch, 0, 1, 0),
+		ev(10, trace.Block, 0, 1, 0),
+		ev(0, trace.Wake, -1, 2, 1),
+		ev(2, trace.Dispatch, 1, 2, 1),
+		ev(8, trace.Exit, 1, 2, 1),
+	}
+	ss := BuildSpans(events)
+	apps := ss.PerApp()
+	if len(apps) != 2 || apps[0].App != 0 || apps[1].App != 1 {
+		t.Fatalf("per-app buckets wrong: %+v", apps)
+	}
+	if apps[0].WakeupHist.Count() != 1 || apps[0].WakeupHist.P50() != 4 {
+		t.Fatalf("app0 wakeup hist wrong: count=%d p50=%v",
+			apps[0].WakeupHist.Count(), apps[0].WakeupHist.P50())
+	}
+	var buf bytes.Buffer
+	if err := ss.Report(&buf, []string{"lc", "be"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"spans: 2 complete", "lc", "be", "p99.9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

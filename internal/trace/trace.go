@@ -152,14 +152,27 @@ func (r *Ring) Count(k Kind) uint64 {
 }
 
 // Events returns the retained window in chronological order.
-func (r *Ring) Events() []Event {
+func (r *Ring) Events() []Event { return r.AppendEvents(nil) }
+
+// AppendEvents appends the retained window in chronological order to dst and
+// returns the extended slice. Dump paths that drain the ring repeatedly (the
+// long-sweep windowed pattern: AppendEvents into a reused buffer, process,
+// Reset) avoid reallocating the full window per call by passing dst[:0].
+func (r *Ring) AppendEvents(dst []Event) []Event {
 	if !r.wrapped {
-		return append([]Event(nil), r.buf...)
+		return append(dst, r.buf...)
 	}
-	out := make([]Event, 0, len(r.buf))
-	out = append(out, r.buf[r.next:]...)
-	out = append(out, r.buf[:r.next]...)
-	return out
+	dst = append(dst, r.buf[r.next:]...)
+	return append(dst, r.buf[:r.next]...)
+}
+
+// Reset discards the retained window so the ring starts filling afresh.
+// Lifetime state — Total, Counts and the determinism Hash — is preserved:
+// Reset bounds the *memory* of a long run, not its identity.
+func (r *Ring) Reset() {
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.wrapped = false
 }
 
 // Dump writes the retained window as text.
@@ -179,13 +192,17 @@ func (r *Ring) Dump(w io.Writer) error {
 //     without an intervening off-CPU event is an error);
 //  2. a task runs on at most one core at a time;
 //  3. off-CPU events name the task that actually occupies that core;
-//  4. nothing is dispatched after its Exit.
+//  4. nothing is dispatched after its Exit;
+//  5. a Steal transfers runqueue ownership: the stolen task's next Dispatch
+//     must come from the stealing core's dispatch stream, the task must not
+//     be running when stolen, and exited tasks cannot be stolen.
 //
 // It returns the first violation, or nil.
 func Validate(events []Event) error {
-	onCore := map[int]int{}  // cpu -> task
-	taskOn := map[int]int{}  // task -> cpu
-	exited := map[int]bool{} // task -> true
+	onCore := map[int]int{}   // cpu -> task
+	taskOn := map[int]int{}   // task -> cpu
+	exited := map[int]bool{}  // task -> true
+	stolenTo := map[int]int{} // task -> cpu owning its next dispatch
 	for i, ev := range events {
 		switch ev.Kind {
 		case Dispatch:
@@ -197,6 +214,12 @@ func Validate(events []Event) error {
 			}
 			if cpu, running := taskOn[ev.Task]; running && cpu != ev.CPU {
 				return fmt.Errorf("event %d: %v: task already on core %d", i, ev, cpu)
+			}
+			if owner, stolen := stolenTo[ev.Task]; stolen {
+				if owner != ev.CPU {
+					return fmt.Errorf("event %d: %v: task was stolen to core %d's runqueue", i, ev, owner)
+				}
+				delete(stolenTo, ev.Task)
 			}
 			onCore[ev.CPU] = ev.Task
 			taskOn[ev.Task] = ev.CPU
@@ -213,38 +236,64 @@ func Validate(events []Event) error {
 			if ev.Kind == Exit {
 				exited[ev.Task] = true
 			}
-		case Wake, AppSwitch, Steal, Fault:
+		case Steal:
+			if exited[ev.Task] {
+				return fmt.Errorf("event %d: %v: steal of exited task", i, ev)
+			}
+			if cpu, running := taskOn[ev.Task]; running {
+				return fmt.Errorf("event %d: %v: steal of task running on core %d", i, ev, cpu)
+			}
+			// A re-steal before the task ran simply moves it again; the
+			// latest stealing core owns the next dispatch.
+			stolenTo[ev.Task] = ev.CPU
+		case Wake, AppSwitch, Fault:
 			// Informational; no ownership change.
 		}
 	}
 	return nil
 }
 
-// Stats summarises a validated event window.
+// Stats counts scheduling events by kind, either over the ring's lifetime
+// (Ring.Counts) or over an event window (Summarise).
 type Stats struct {
-	Dispatches, Preempts, Yields, Blocks, Wakes, AppSwitches, Steals uint64
+	Dispatches, Preempts, Yields, Blocks, Sleeps, Faults, Exits,
+	Wakes, AppSwitches, Steals uint64
 }
 
-// Summarise counts event kinds in a window.
-func Summarise(events []Event) Stats {
+// fromCounts fills s from a per-kind count array (the ring's lifetime
+// counters), keeping the two Stats sources structurally identical.
+func (s *Stats) fromCounts(counts *[Steal + 1]uint64) {
+	s.Dispatches = counts[Dispatch]
+	s.Preempts = counts[Preempt]
+	s.Yields = counts[Yield]
+	s.Blocks = counts[Block]
+	s.Sleeps = counts[Sleep]
+	s.Faults = counts[Fault]
+	s.Exits = counts[Exit]
+	s.Wakes = counts[Wake]
+	s.AppSwitches = counts[AppSwitch]
+	s.Steals = counts[Steal]
+}
+
+// Counts reports lifetime event counts by kind — the authoritative totals,
+// independent of what the bounded window still retains.
+func (r *Ring) Counts() Stats {
 	var s Stats
+	s.fromCounts(&r.counts)
+	return s
+}
+
+// Summarise counts event kinds in a window. For lifetime totals use
+// Ring.Counts; this helper exists for windowed slices (e.g. the tail of a
+// dump, or one AppendEvents batch of a long sweep).
+func Summarise(events []Event) Stats {
+	var counts [Steal + 1]uint64
 	for _, ev := range events {
-		switch ev.Kind {
-		case Dispatch:
-			s.Dispatches++
-		case Preempt:
-			s.Preempts++
-		case Yield:
-			s.Yields++
-		case Block:
-			s.Blocks++
-		case Wake:
-			s.Wakes++
-		case AppSwitch:
-			s.AppSwitches++
-		case Steal:
-			s.Steals++
+		if int(ev.Kind) < len(counts) {
+			counts[ev.Kind]++
 		}
 	}
+	var s Stats
+	s.fromCounts(&counts)
 	return s
 }

@@ -46,47 +46,184 @@ func TestValidateAcceptsCleanSchedule(t *testing.T) {
 	}
 }
 
-func TestValidateRejectsDoubleOccupancy(t *testing.T) {
-	evs := []Event{
-		{Kind: Dispatch, CPU: 0, Task: 1},
-		{Kind: Dispatch, CPU: 0, Task: 2},
+func TestValidateTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		events  []Event
+		wantErr string // substring of the violation, "" = valid
+	}{
+		{
+			name: "double occupancy",
+			events: []Event{
+				{Kind: Dispatch, CPU: 0, Task: 1},
+				{Kind: Dispatch, CPU: 0, Task: 2},
+			},
+			wantErr: "core already runs",
+		},
+		{
+			name: "task on two cores",
+			events: []Event{
+				{Kind: Dispatch, CPU: 0, Task: 1},
+				{Kind: Dispatch, CPU: 1, Task: 1},
+			},
+			wantErr: "task already on core",
+		},
+		{
+			name:    "off-CPU on idle core",
+			events:  []Event{{Kind: Yield, CPU: 3, Task: 9}},
+			wantErr: "off-CPU event on idle core",
+		},
+		{
+			name: "off-CPU names wrong task",
+			events: []Event{
+				{Kind: Dispatch, CPU: 0, Task: 1},
+				{Kind: Block, CPU: 0, Task: 2},
+			},
+			wantErr: "core runs task 1, not 2",
+		},
+		{
+			name: "dispatch after exit",
+			events: []Event{
+				{Kind: Dispatch, CPU: 0, Task: 1},
+				{Kind: Exit, CPU: 0, Task: 1},
+				{Kind: Dispatch, CPU: 0, Task: 1},
+			},
+			wantErr: "dispatch of exited task",
+		},
+		{
+			name: "steal then dispatch on stealing core",
+			events: []Event{
+				{Kind: Dispatch, CPU: 0, Task: 1},
+				{Kind: Preempt, CPU: 0, Task: 1},
+				{Kind: Steal, CPU: 1, Task: 1},
+				{Kind: Dispatch, CPU: 1, Task: 1},
+			},
+		},
+		{
+			name: "stolen task dispatched from old runqueue",
+			events: []Event{
+				{Kind: Dispatch, CPU: 0, Task: 1},
+				{Kind: Preempt, CPU: 0, Task: 1},
+				{Kind: Steal, CPU: 1, Task: 1},
+				{Kind: Dispatch, CPU: 0, Task: 1},
+			},
+			wantErr: "stolen to core 1",
+		},
+		{
+			name: "re-steal moves ownership again",
+			events: []Event{
+				{Kind: Dispatch, CPU: 0, Task: 1},
+				{Kind: Yield, CPU: 0, Task: 1},
+				{Kind: Steal, CPU: 1, Task: 1},
+				{Kind: Steal, CPU: 2, Task: 1},
+				{Kind: Dispatch, CPU: 2, Task: 1},
+			},
+		},
+		{
+			name: "steal of running task",
+			events: []Event{
+				{Kind: Dispatch, CPU: 0, Task: 1},
+				{Kind: Steal, CPU: 1, Task: 1},
+			},
+			wantErr: "steal of task running on core 0",
+		},
+		{
+			name: "steal of exited task",
+			events: []Event{
+				{Kind: Dispatch, CPU: 0, Task: 1},
+				{Kind: Exit, CPU: 0, Task: 1},
+				{Kind: Steal, CPU: 1, Task: 1},
+			},
+			wantErr: "steal of exited task",
+		},
+		{
+			name: "ownership cleared after stolen dispatch",
+			events: []Event{
+				{Kind: Dispatch, CPU: 0, Task: 1},
+				{Kind: Preempt, CPU: 0, Task: 1},
+				{Kind: Steal, CPU: 1, Task: 1},
+				{Kind: Dispatch, CPU: 1, Task: 1},
+				{Kind: Preempt, CPU: 1, Task: 1},
+				{Kind: Dispatch, CPU: 0, Task: 1},
+			},
+		},
 	}
-	if err := Validate(evs); err == nil {
-		t.Fatal("two tasks on one core accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(tc.events)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid sequence rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("violation %q accepted", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 
-func TestValidateRejectsTaskOnTwoCores(t *testing.T) {
-	evs := []Event{
-		{Kind: Dispatch, CPU: 0, Task: 1},
-		{Kind: Dispatch, CPU: 1, Task: 1},
+func TestCountsMatchesLifetime(t *testing.T) {
+	r := New(2) // tiny window: counts must survive eviction
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: Dispatch, Task: i})
 	}
-	if err := Validate(evs); err == nil {
-		t.Fatal("one task on two cores accepted")
+	r.Record(Event{Kind: Wake, Task: 1})
+	r.Record(Event{Kind: Steal, CPU: 1, Task: 1})
+	s := r.Counts()
+	if s.Dispatches != 5 || s.Wakes != 1 || s.Steals != 1 {
+		t.Fatalf("lifetime counts wrong: %+v", s)
 	}
-}
-
-func TestValidateRejectsGhostOffCPU(t *testing.T) {
-	if err := Validate([]Event{{Kind: Yield, CPU: 3, Task: 9}}); err == nil {
-		t.Fatal("off-CPU event on idle core accepted")
-	}
-	evs := []Event{
-		{Kind: Dispatch, CPU: 0, Task: 1},
-		{Kind: Block, CPU: 0, Task: 2},
-	}
-	if err := Validate(evs); err == nil {
-		t.Fatal("off-CPU event naming the wrong task accepted")
+	// The window only retains the last two events.
+	w := Summarise(r.Events())
+	if w.Dispatches != 0 || w.Wakes != 1 || w.Steals != 1 {
+		t.Fatalf("window summary wrong: %+v", w)
 	}
 }
 
-func TestValidateRejectsZombieDispatch(t *testing.T) {
-	evs := []Event{
-		{Kind: Dispatch, CPU: 0, Task: 1},
-		{Kind: Exit, CPU: 0, Task: 1},
-		{Kind: Dispatch, CPU: 0, Task: 1},
+func TestResetKeepsLifetimeState(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 6; i++ {
+		r.Record(Event{At: simtime.Time(i), Kind: Dispatch, Task: i})
 	}
-	if err := Validate(evs); err == nil {
-		t.Fatal("dispatch after exit accepted")
+	hash, total := r.Hash(), r.Total()
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Fatal("Reset did not clear the window")
+	}
+	if r.Hash() != hash || r.Total() != total || r.Counts().Dispatches != 6 {
+		t.Fatal("Reset lost lifetime state")
+	}
+	// The ring refills from scratch after Reset, in order.
+	for i := 10; i < 13; i++ {
+		r.Record(Event{At: simtime.Time(i), Kind: Wake, Task: i})
+	}
+	evs := r.Events()
+	if len(evs) != 3 || evs[0].Task != 10 || evs[2].Task != 12 {
+		t.Fatalf("post-Reset window wrong: %v", evs)
+	}
+}
+
+func TestAppendEventsReusesBuffer(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 12; i++ { // wraps
+		r.Record(Event{At: simtime.Time(i), Kind: Dispatch, Task: i})
+	}
+	buf := make([]Event, 0, 8)
+	got := r.AppendEvents(buf[:0])
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("AppendEvents reallocated despite sufficient capacity")
+	}
+	if len(got) != 8 || got[0].Task != 4 || got[7].Task != 11 {
+		t.Fatalf("AppendEvents window wrong: %v", got)
+	}
+	// Events() is AppendEvents(nil).
+	if evs := r.Events(); len(evs) != len(got) || evs[0] != got[0] {
+		t.Fatalf("Events/AppendEvents disagree: %v vs %v", evs, got)
 	}
 }
 

@@ -63,6 +63,7 @@ type Receiver struct {
 
 	delivered uint64
 	dropped   uint64 // vector matched UINV but PIR was empty (§3.2 trap)
+	uirets    uint64 // UIRET instructions executed
 }
 
 // NewReceiver installs UINTR receive state on core and registers it as the
@@ -83,6 +84,10 @@ func (r *Receiver) UPID() *UPID { return r.upid }
 // Delivered and Dropped report delivery statistics.
 func (r *Receiver) Delivered() uint64 { return r.delivered }
 func (r *Receiver) Dropped() uint64   { return r.dropped }
+
+// UIRets reports executed UIRET instructions (one per handler completion —
+// the Table 6 "user interrupt return" operation).
+func (r *Receiver) UIRets() uint64 { return r.uirets }
 
 // Register configures the receiver: interrupt vector uinv, handler fn, and
 // allocates the UPID. This models the UINV/UIHANDLER MSR writes plus UPID
@@ -178,6 +183,7 @@ func (r *Receiver) receiveCost(irq hw.IRQ) simtime.Duration {
 // handler's own SN-suppressed rearm) stay in the PIR until the next
 // notification arrives, exactly as on hardware.
 func (r *Receiver) UIRet() {
+	r.uirets++
 	if r.uirr != 0 {
 		r.pendVec = r.takeVector()
 		r.delivered++
@@ -193,10 +199,11 @@ func (r *Receiver) UIRet() {
 
 // Sender is the per-core send state: the UITT plus the SENDUIPI operation.
 type Sender struct {
-	core *hw.Core
-	cost cycles.Model
-	uitt []UITTEntry
-	sent uint64
+	core     *hw.Core
+	cost     cycles.Model
+	uitt     []UITTEntry
+	sent     uint64
+	executed uint64 // SENDUIPI instructions executed (incl. suppressed)
 }
 
 // NewSender creates send state for core.
@@ -218,6 +225,11 @@ func (s *Sender) Connect(upid *UPID, vector uint8) int {
 // Sent reports how many SENDUIPIs actually generated an IPI.
 func (s *Sender) Sent() uint64 { return s.sent }
 
+// SendUIPIs reports executed SENDUIPI instructions, including ones whose
+// notification was suppressed (SN set) or coalesced (ON outstanding) — the
+// Table 6 "user IPI send" operation count.
+func (s *Sender) SendUIPIs() uint64 { return s.executed }
+
 // SendCost reports the sender-side cost of SENDUIPI to UITT entry idx
 // (charged to the sending core by the caller, since senders typically batch
 // it inside scheduler code).
@@ -235,6 +247,7 @@ func (s *Sender) SendCost(idx int) simtime.Duration {
 // was generated. The sender-side cost is NOT charged here; use SendCost.
 func (s *Sender) SendUIPI(idx int) bool {
 	e := s.entry(idx)
+	s.executed++
 	e.UPID.PIR |= 1 << e.Vector
 	if e.UPID.SN {
 		return false // suppressed: posted but no notification
