@@ -4,9 +4,10 @@ GO ?= go
 # merging. `vet` + `build` + the full test suite under the race detector
 # (the parallel sweep runner makes -race meaningful), then a short
 # benchmark smoke to catch accidental allocation regressions in the event
-# core.
+# core, the observability smoke, and the benchmark regression gate against
+# the committed BENCH_skyloft.json.
 .PHONY: check
-check: vet build race bench-smoke trace-smoke
+check: vet build race bench-smoke trace-smoke bench-gate
 
 .PHONY: vet
 vet:
@@ -33,18 +34,40 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkClock' -benchtime 100x -benchmem ./internal/simtime/
 	$(GO) test -run '^$$' -bench 'BenchmarkFig7Sweep$$' -benchtime 1x -benchmem ./internal/bench/
 
-# End-to-end observability smoke: run skyloft-trace with all three
-# observability flags, verify the Perfetto JSON parses and has a slice track
-# per simulated CPU (the workload pins CPUs {0,1}), and check the occupancy
-# report covers both cores.
+# End-to-end observability smoke: run skyloft-trace with all four
+# observability outputs, verify the Perfetto JSON parses and has a slice
+# track per simulated CPU (the workload pins CPUs {0,1}), check the
+# occupancy report covers both cores, and check the sched-doctor diagnosis
+# is well-formed JSON with the expected sections.
 .PHONY: trace-smoke
 trace-smoke:
 	@tmp=$$(mktemp -d) && trap 'rm -rf $$tmp' EXIT && \
 	$(GO) run ./cmd/skyloft-trace -dur 2ms -n 0 \
-		-trace-out $$tmp/trace.json -metrics-out $$tmp/metrics.json -occupancy \
+		-trace-out $$tmp/trace.json -metrics-out $$tmp/metrics.json \
+		-doctor-out $$tmp/doctor.json -occupancy \
 		> $$tmp/out.txt && \
 	$(GO) run ./cmd/tracecheck -cpus 2 $$tmp/trace.json && \
 	$(GO) run ./cmd/metricscheck $$tmp/metrics.json && \
 	grep -q 'cpu 0' $$tmp/out.txt && grep -q 'cpu 1' $$tmp/out.txt && \
 	grep -q 'spans:' $$tmp/out.txt && \
+	grep -q '"windows"' $$tmp/doctor.json && \
+	grep -q '"findings"' $$tmp/doctor.json && \
 	echo "trace-smoke OK"
+
+# Regenerate the committed machine-readable benchmark report (quick sweep,
+# seed 1 — the configuration bench-gate compares against). Run this, review
+# the diff, and commit the result whenever a change intentionally moves a
+# benchmark.
+.PHONY: bench-json
+bench-json:
+	$(GO) run ./cmd/skyloft-bench -report-only -quick -seed 1 -report-out BENCH_skyloft.json
+
+# Benchmark regression gate: rebuild the report and compare it against the
+# committed BENCH_skyloft.json with cmd/benchdiff's default tolerances.
+# Fails (non-zero) on metric drift beyond tolerance, disappeared metrics, or
+# new pathology findings.
+.PHONY: bench-gate
+bench-gate:
+	@tmp=$$(mktemp -d) && trap 'rm -rf $$tmp' EXIT && \
+	$(GO) run ./cmd/skyloft-bench -report-only -quick -seed 1 -report-out $$tmp/candidate.json && \
+	$(GO) run ./cmd/benchdiff BENCH_skyloft.json $$tmp/candidate.json

@@ -1,0 +1,94 @@
+// Command benchdiff compares two BENCH_skyloft.json reports (see
+// internal/bench.BenchReport) and exits non-zero when the candidate
+// regresses the baseline: a metric drifted beyond tolerance, a metric
+// disappeared, or a pathology finding appeared in a scope the baseline had
+// clean. It is the machine half of the repo's regression gate; the Makefile
+// wires it as `make bench-gate`.
+//
+// Usage:
+//
+//	benchdiff [-rtol 0.25] [-atol 2] [-tol prefix=rel,abs ...] baseline.json candidate.json
+//
+// A -tol flag overrides the tolerance for every metric sharing the dotted
+// prefix, e.g. -tol fig5.=0.5,5 allows Fig. 5 metrics 50% relative / 5 µs
+// absolute drift. The flag repeats; the longest matching prefix wins.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"skyloft/internal/bench"
+)
+
+// tolFlags collects repeated -tol prefix=rel,abs overrides.
+type tolFlags struct {
+	per map[string]bench.Tolerance
+}
+
+func (t *tolFlags) String() string { return fmt.Sprintf("%v", t.per) }
+
+func (t *tolFlags) Set(v string) error {
+	prefix, spec, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want prefix=rel,abs, got %q", v)
+	}
+	relStr, absStr, ok := strings.Cut(spec, ",")
+	if !ok {
+		return fmt.Errorf("want prefix=rel,abs, got %q", v)
+	}
+	rel, err := strconv.ParseFloat(relStr, 64)
+	if err != nil {
+		return fmt.Errorf("bad rel in %q: %v", v, err)
+	}
+	abs, err := strconv.ParseFloat(absStr, 64)
+	if err != nil {
+		return fmt.Errorf("bad abs in %q: %v", v, err)
+	}
+	if t.per == nil {
+		t.per = map[string]bench.Tolerance{}
+	}
+	t.per[prefix] = bench.Tolerance{Rel: rel, Abs: abs}
+	return nil
+}
+
+func main() {
+	cfg := bench.DefaultDiffConfig()
+	rtol := flag.Float64("rtol", cfg.Default.Rel, "default relative tolerance (fraction of baseline)")
+	atol := flag.Float64("atol", cfg.Default.Abs, "default absolute tolerance (metric units)")
+	var tols tolFlags
+	flag.Var(&tols, "tol", "per-prefix override, prefix=rel,abs (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json candidate.json")
+		os.Exit(2)
+	}
+	cfg.Default = bench.Tolerance{Rel: *rtol, Abs: *atol}
+	cfg.PerPrefix = tols.per
+
+	baseline, err := bench.ReadReport(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	candidate, err := bench.ReadReport(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	regs := bench.DiffReports(baseline, candidate, cfg)
+	if len(regs) == 0 {
+		fmt.Printf("benchdiff: OK — %d metrics, %d finding scopes within tolerance (rel %.0f%%, abs %g)\n",
+			len(baseline.Metrics), len(baseline.Findings), 100*cfg.Default.Rel, cfg.Default.Abs)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) vs %s:\n", len(regs), flag.Arg(0))
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "  "+r.String())
+	}
+	os.Exit(1)
+}

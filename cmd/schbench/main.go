@@ -5,12 +5,15 @@
 //
 // The observability flags run an instrumented companion workload alongside:
 // -trace-out exports it as Perfetto JSON, -metrics-out snapshots the metrics
-// registry, -occupancy prints per-core busy/idle/kernel shares.
+// registry, -doctor-out writes the sched-doctor diagnosis as JSON, and
+// -occupancy prints per-core busy/idle/kernel shares. Every *-out flag
+// accepts "-" for stdout.
 //
 // Usage:
 //
 //	schbench [-fig 5|6] [-reqs N] [-seed S] [-csv] \
-//	         [-trace-out trace.json] [-metrics-out metrics.json] [-occupancy]
+//	         [-trace-out trace.json] [-metrics-out metrics.json] \
+//	         [-doctor-out doctor.json] [-occupancy]
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 
 	"skyloft/internal/bench"
 	"skyloft/internal/obs"
+	"skyloft/internal/obs/doctor"
 	"skyloft/internal/simtime"
 	"skyloft/internal/stats"
 )
@@ -84,6 +88,16 @@ func main() {
 		if err := of.EmitOccupancy(os.Stdout, run.Profiler, run.AppNames); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if of.DoctorOut != "" {
+			diag := doctor.Analyze(run.Events, run.Spans, doctor.Config{
+				TickPeriod: simtime.Second / bench.SkyloftTimerHz,
+				Cores:      run.Workers,
+			})
+			if err := of.EmitDoctor(diag); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 	}
 }

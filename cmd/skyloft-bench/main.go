@@ -7,9 +7,15 @@
 // A full run takes some minutes of wall-clock time; use -quick for a
 // reduced sweep.
 //
+// -report-out writes the machine-readable BENCH_skyloft.json summary (one
+// key metric per figure plus the sched-doctor findings and a determinism
+// hash; compare two with cmd/benchdiff); -report-only skips the printed
+// tables and produces just the report, which is what `make bench-json`
+// runs. -doctor-out writes the instrumented run's sched-doctor diagnosis.
+//
 // Usage:
 //
-//	skyloft-bench [-quick] [-seed 1]
+//	skyloft-bench [-quick] [-seed 1] [-report-out BENCH_skyloft.json] [-report-only]
 package main
 
 import (
@@ -21,16 +27,51 @@ import (
 	"skyloft/internal/apps/server"
 	"skyloft/internal/bench"
 	"skyloft/internal/obs"
+	"skyloft/internal/obs/doctor"
 	"skyloft/internal/simtime"
 )
+
+// emitReport builds the machine-readable benchmark report and writes it to
+// path ("-" = stdout).
+func emitReport(path string, seed uint64, quick bool) {
+	r := bench.BuildReport(seed, quick)
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := r.WriteJSON(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if path != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d metrics, %d finding scopes)\n",
+			path, len(r.Metrics), len(r.Findings))
+	}
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	seed := flag.Uint64("seed", 1, "random seed")
 	par := flag.Int("par", 0, "max parallel trials (0 = GOMAXPROCS, 1 = serial)")
+	reportOut := flag.String("report-out", "", "write the machine-readable benchmark report as JSON (\"-\" for stdout)")
+	reportOnly := flag.Bool("report-only", false, "emit only the -report-out JSON, skip the printed tables")
 	of := obs.BindFlags()
 	flag.Parse()
 	bench.SetSweepWorkers(*par)
+
+	if *reportOnly {
+		if *reportOut == "" {
+			*reportOut = "-"
+		}
+		emitReport(*reportOut, *seed, *quick)
+		return
+	}
 
 	start := time.Now()
 
@@ -76,6 +117,16 @@ func main() {
 	if err := of.EmitOccupancy(os.Stdout, run.Profiler, run.AppNames); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if of.DoctorOut != "" {
+		diag := doctor.Analyze(run.Events, run.Spans, doctor.Config{
+			TickPeriod: simtime.Second / bench.SkyloftTimerHz,
+			Cores:      run.Workers,
+		})
+		if err := of.EmitDoctor(diag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println()
 
@@ -148,6 +199,11 @@ func main() {
 	section("Table 4: policy lines of code")
 	for _, r := range bench.Table4() {
 		fmt.Printf("%-14s %6d LOC\n", r.Policy, r.Lines)
+	}
+
+	if *reportOut != "" {
+		section("Machine-readable report")
+		emitReport(*reportOut, *seed, *quick)
 	}
 
 	fmt.Printf("\ntotal wall-clock: %.1fs\n", time.Since(start).Seconds())

@@ -6,13 +6,17 @@
 //
 // With the observability flags it also exports the run: -trace-out writes a
 // Perfetto/Chrome trace_event JSON (open at https://ui.perfetto.dev),
-// -metrics-out snapshots the metrics registry, and -occupancy prints the
-// per-core busy/idle/kernel shares sampled on the virtual clock.
+// -metrics-out snapshots the metrics registry, -doctor-out writes the
+// sched-doctor diagnosis (windowed telemetry, tail attribution, pathology
+// findings) as JSON, and -occupancy prints the per-core busy/idle/kernel
+// shares sampled on the virtual clock. Every *-out flag accepts "-" for
+// stdout.
 //
 // Usage:
 //
 //	skyloft-trace [-n 40] [-dur 5ms] [-threads 8] \
-//	              [-trace-out trace.json] [-metrics-out metrics.json] [-occupancy]
+//	              [-trace-out trace.json] [-metrics-out metrics.json] \
+//	              [-doctor-out doctor.json] [-occupancy]
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"skyloft/internal/cycles"
 	"skyloft/internal/hw"
 	"skyloft/internal/obs"
+	"skyloft/internal/obs/doctor"
 	"skyloft/internal/policy/mlfq"
 	"skyloft/internal/sched"
 	"skyloft/internal/simtime"
@@ -121,5 +126,15 @@ func main() {
 	if err := of.EmitOccupancy(os.Stdout, prof, names); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if of.DoctorOut != "" {
+		diag := doctor.Analyze(events, spans, doctor.Config{
+			TickPeriod: simtime.Second / 100_000, // the engine's 100 kHz timer
+			Cores:      engine.Workers(),
+		})
+		if err := of.EmitDoctor(diag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tolerance bounds how far a metric may drift from its baseline before the
+// gate calls it a regression: |new − old| must exceed BOTH the relative
+// band (Rel × |old|) and the absolute band (Abs) to fail. The absolute
+// band keeps tiny metrics (a 2 µs p50) from tripping on one histogram
+// bucket of movement that is far inside measurement resolution.
+type Tolerance struct {
+	Rel float64 // fraction of the baseline value
+	Abs float64 // in the metric's own unit
+}
+
+// DiffConfig tunes a report comparison.
+type DiffConfig struct {
+	// Default applies to any metric with no matching override.
+	Default Tolerance
+	// PerPrefix overrides the tolerance for metrics whose dotted name
+	// starts with the key ("fig5." or "fig5.linux-cfs.p99_us"); the longest
+	// matching prefix wins.
+	PerPrefix map[string]Tolerance
+}
+
+// DefaultDiffConfig is the gate's standard policy: 25% relative drift with
+// a 2-unit absolute floor. The simulator is deterministic, so at equal
+// seeds any drift at all is a code change — the band exists to let
+// intentional cost-model tuning land without regenerating the baseline for
+// noise-level movement.
+func DefaultDiffConfig() DiffConfig {
+	return DiffConfig{Default: Tolerance{Rel: 0.25, Abs: 2}}
+}
+
+func (c DiffConfig) tolerance(metric string) Tolerance {
+	best, bestLen := c.Default, -1
+	for prefix, t := range c.PerPrefix {
+		if strings.HasPrefix(metric, prefix) && len(prefix) > bestLen {
+			best, bestLen = t, len(prefix)
+		}
+	}
+	return best
+}
+
+// Regression is one gate failure.
+type Regression struct {
+	Metric string // dotted metric name or finding scope
+	Reason string
+}
+
+func (r Regression) String() string { return r.Metric + ": " + r.Reason }
+
+// DiffReports compares a candidate report against a baseline and returns
+// the regressions: metrics that drifted beyond tolerance or disappeared,
+// and pathology findings that appeared in scopes the baseline had clean.
+// Improvements (new metrics, findings that vanished) are not regressions.
+func DiffReports(baseline, candidate *BenchReport, cfg DiffConfig) []Regression {
+	var out []Regression
+	if baseline.Version != candidate.Version {
+		return []Regression{{Metric: "version", Reason: fmt.Sprintf(
+			"baseline v%d vs candidate v%d: regenerate the baseline", baseline.Version, candidate.Version)}}
+	}
+	if baseline.Quick != candidate.Quick || baseline.Seed != candidate.Seed {
+		out = append(out, Regression{Metric: "config", Reason: fmt.Sprintf(
+			"incomparable runs: baseline quick=%v seed=%d vs candidate quick=%v seed=%d",
+			baseline.Quick, baseline.Seed, candidate.Quick, candidate.Seed)})
+	}
+
+	metrics := make([]string, 0, len(baseline.Metrics))
+	for m := range baseline.Metrics {
+		metrics = append(metrics, m)
+	}
+	sort.Strings(metrics)
+	for _, m := range metrics {
+		old := baseline.Metrics[m]
+		now, ok := candidate.Metrics[m]
+		if !ok {
+			out = append(out, Regression{Metric: m, Reason: "metric disappeared"})
+			continue
+		}
+		t := cfg.tolerance(m)
+		drift := now - old
+		if drift < 0 {
+			drift = -drift
+		}
+		relBand := t.Rel * abs(old)
+		if drift > relBand && drift > t.Abs {
+			out = append(out, Regression{Metric: m, Reason: fmt.Sprintf(
+				"%.4g -> %.4g (drift %.4g exceeds rel %.0f%% and abs %.4g)",
+				old, now, drift, 100*t.Rel, t.Abs)})
+		}
+	}
+
+	scopes := make([]string, 0, len(baseline.Findings))
+	for s := range baseline.Findings {
+		scopes = append(scopes, s)
+	}
+	sort.Strings(scopes)
+	for _, scope := range scopes {
+		baseCodes := map[string]bool{}
+		for _, f := range baseline.Findings[scope] {
+			baseCodes[f.Code] = true
+		}
+		for _, f := range candidate.Findings[scope] {
+			if !baseCodes[f.Code] {
+				out = append(out, Regression{Metric: scope, Reason: fmt.Sprintf(
+					"new pathology %q: %s", f.Code, f.Evidence)})
+			}
+		}
+	}
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

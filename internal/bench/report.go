@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"skyloft/internal/apps/server"
+	"skyloft/internal/baseline/linuxsim"
+	"skyloft/internal/obs"
+	"skyloft/internal/obs/doctor"
+	"skyloft/internal/simtime"
+)
+
+// BenchReportVersion identifies the BENCH_skyloft.json schema; benchdiff
+// refuses to compare reports with different versions.
+const BenchReportVersion = 1
+
+// BenchReport is the machine-readable benchmark summary: one key metric per
+// figure/table of the paper plus the sched-doctor's findings, shaped for
+// regression gating with cmd/benchdiff. The report is fully deterministic —
+// virtual-time measurements only, map keys sorted by encoding/json, no
+// wall-clock values — so two runs at the same seed are byte-identical.
+type BenchReport struct {
+	Version int    `json:"version"`
+	Quick   bool   `json:"quick"`
+	Seed    uint64 `json:"seed"`
+
+	// Metrics maps dotted metric names ("fig5.linux-cfs.p99_us") to values.
+	Metrics map[string]float64 `json:"metrics"`
+
+	// Findings maps an experiment scope to the doctor findings it produced.
+	// Scopes with no findings are present with an empty list, so benchdiff
+	// can tell "clean" apart from "not analysed".
+	Findings map[string][]doctor.Finding `json:"findings"`
+
+	// Occupancy is the instrumented run's per-core occupancy profile.
+	Occupancy *obs.OccupancySnapshot `json:"occupancy"`
+
+	// DeterminismHash combines the instrumented run's trace-ring and span
+	// hashes: the witness that the observed schedule itself — not just the
+	// summary statistics — was reproduced.
+	DeterminismHash string `json:"determinism_hash"`
+}
+
+// BuildReport runs the report's experiment subset at the given seed. quick
+// shrinks the measurement windows (the Makefile gate uses quick). The
+// subset is chosen to cover every paper claim the repo reproduces with one
+// cheap, deterministic number each.
+func BuildReport(seed uint64, quick bool) *BenchReport {
+	r := &BenchReport{
+		Version:  BenchReportVersion,
+		Quick:    quick,
+		Seed:     seed,
+		Metrics:  map[string]float64{},
+		Findings: map[string][]doctor.Finding{},
+	}
+
+	// Instrumented two-app run: span percentiles, doctor diagnosis,
+	// occupancy, and the determinism witness.
+	obsDur := 50 * simtime.Millisecond
+	if quick {
+		obsDur = 10 * simtime.Millisecond
+	}
+	run := ObservedRun(seed, obsDur, true)
+	diag := doctor.Analyze(run.Events, run.Spans, doctor.Config{
+		TickPeriod: simtime.Second / SkyloftTimerHz,
+		Cores:      run.Workers,
+	})
+	r.Metrics["observed.spans"] = float64(diag.Spans)
+	r.Metrics["observed.wake_p50_us"] = diag.WakeP50.Micros()
+	r.Metrics["observed.wake_p99_us"] = diag.WakeP99.Micros()
+	r.Metrics["observed.windows"] = float64(len(diag.Windows))
+	r.Findings["observed"] = append([]doctor.Finding{}, diag.Findings...)
+	r.Occupancy = run.Profiler.Snapshot()
+	r.DeterminismHash = fmt.Sprintf("%016x-%016x", run.Ring.Hash(), run.Spans.Hash())
+
+	// Fig. 5 at one oversubscribed worker count (32 workers on 24 cores —
+	// queueing is what exposes the tick): the headline wakeup-latency gap,
+	// plus the tick-bound verdict per scheduler — linux-cfs must show the
+	// CONFIG_HZ signature, the µs-scale Skyloft schedulers must not.
+	workers, reqs := 32, 50
+	if quick {
+		reqs = 15
+	}
+	fig5 := []SchbenchResult{
+		SchbenchLinux(linuxsim.RRDefault, workers, reqs, seed),
+		SchbenchLinux(linuxsim.CFSDefault, workers, reqs, seed),
+		SchbenchSkyloft(SkyloftRR, 0, workers, reqs, seed),
+		SchbenchSkyloft(SkyloftCFS, 0, workers, reqs, seed),
+	}
+	for _, res := range fig5 {
+		r.Metrics["fig5."+res.Scheduler+".p50_us"] = res.Hist.P50().Micros()
+		r.Metrics["fig5."+res.Scheduler+".p99_us"] = res.Hist.P99().Micros()
+		scope := "fig5." + res.Scheduler
+		if f, ok := doctor.TickBound(res.Hist); ok {
+			r.Findings[scope] = []doctor.Finding{f}
+		} else {
+			r.Findings[scope] = []doctor.Finding{}
+		}
+	}
+
+	// Fig. 6 endpoints: the RR-slice sweep's extremes.
+	for _, slice := range []simtime.Duration{25 * simtime.Microsecond, 400 * simtime.Microsecond} {
+		res := SchbenchSkyloft(SkyloftRR, slice, workers, reqs, seed)
+		r.Metrics[fmt.Sprintf("fig6.rr-%v.p99_us", slice)] = res.Hist.P99().Micros()
+	}
+
+	// Fig. 7a at one offered load (80% of capacity): p99 and throughput for
+	// Skyloft vs the simulated-Linux baseline.
+	dur := 100 * simtime.Millisecond
+	if quick {
+		dur = 30 * simtime.Millisecond
+	}
+	load := 0.8 * Capacity(Fig7Workers, server.DispersiveClasses())
+	for _, sys := range []SynthSystem{SynthSkyloft, SynthLinuxCFS} {
+		p := RunSynthetic(SynthConfig{System: sys, Rate: load, Duration: dur, Seed: seed})
+		r.Metrics["fig7a."+string(sys)+".p99_us"] = p.P99
+		r.Metrics["fig7a."+string(sys)+".throughput_rps"] = p.Throughput
+	}
+
+	// Table 6: delivery cost per preemption mechanism (cycles).
+	for _, row := range Table6() {
+		r.Metrics["table6."+row.Name+".delivery_cycles"] = row.Delivery
+	}
+	// Table 7: simulated columns only — the Go column is measured on the
+	// host's real runtime and would break byte-determinism.
+	for _, row := range Table7() {
+		r.Metrics["table7."+row.Op+".pthread_ns"] = row.Pthread
+		r.Metrics["table7."+row.Op+".skyloft_ns"] = row.Skyloft
+	}
+	r.Metrics["micro.inter_app_switch_ns"] = float64(InterAppSwitch())
+
+	return r
+}
+
+// WriteJSON writes the report as indented JSON; output is byte-stable for
+// identical inputs (encoding/json sorts map keys).
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report written by WriteJSON.
+func ReadReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -5,22 +5,34 @@ package core_test
 // engine's trace hash (the observability layer is read-only by design).
 
 import (
+	"bytes"
 	"testing"
 
 	"skyloft/internal/core"
 	"skyloft/internal/cycles"
 	"skyloft/internal/hw"
 	"skyloft/internal/obs"
+	"skyloft/internal/obs/doctor"
 	"skyloft/internal/policy/rr"
 	"skyloft/internal/sched"
 	"skyloft/internal/simtime"
 	"skyloft/internal/trace"
 )
 
+// obsScenario is one run of the shared workload: the trace hash, the
+// stitched spans, and — when instrumented — the occupancy report and the
+// sched-doctor diagnosis (run with windowed telemetry before the hash is
+// taken, so the hash witnesses that the doctor touched nothing).
+type obsScenario struct {
+	hash   uint64
+	spans  *obs.SpanSet
+	occ    []obs.CoreOccupancy
+	report *doctor.Report
+}
+
 // runObsScenario runs a mixed two-app workload with the full observability
-// stack attached (when instrument is true) and returns the trace hash, the
-// stitched span set, and the occupancy report (nil when not instrumented).
-func runObsScenario(seed uint64, instrument bool) (uint64, *obs.SpanSet, []obs.CoreOccupancy) {
+// stack attached (when instrument is true).
+func runObsScenario(seed uint64, instrument bool) obsScenario {
 	m := hw.NewMachine(hw.DefaultConfig())
 	tr := trace.New(1 << 14)
 	cfg := core.Config{
@@ -60,20 +72,30 @@ func runObsScenario(seed uint64, instrument bool) (uint64, *obs.SpanSet, []obs.C
 	}
 	e.Run(10 * simtime.Millisecond)
 
-	ss := obs.BuildSpans(tr.Events())
-	var occ []obs.CoreOccupancy
-	if prof != nil {
-		occ = prof.Report()
+	events := tr.Events()
+	ss := obs.BuildSpans(events)
+	out := obsScenario{spans: ss}
+	if instrument {
+		out.occ = prof.Report()
+		// Run the full doctor — windowed telemetry, attribution, detectors —
+		// before reading the trace hash: if the doctor were anything but a
+		// pure function of recorded data, the hash below would move.
+		out.report = doctor.Analyze(events, ss, doctor.Config{
+			Window:     500 * simtime.Microsecond,
+			TickPeriod: simtime.Second / 100_000,
+			Cores:      3,
+		})
 	}
-	return tr.Hash(), ss, occ
+	out.hash = tr.Hash()
+	return out
 }
 
 // TestSpanDeterminism is the stitching determinism witness: same seed, twice,
 // must yield byte-identical span sets and identical per-app wakeup-latency
 // histograms.
 func TestSpanDeterminism(t *testing.T) {
-	_, ss1, _ := runObsScenario(3, false)
-	_, ss2, _ := runObsScenario(3, false)
+	ss1 := runObsScenario(3, false).spans
+	ss2 := runObsScenario(3, false).spans
 	if err := ss1.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -97,22 +119,24 @@ func TestSpanDeterminism(t *testing.T) {
 	}
 }
 
-// TestObservabilityDoesNotPerturb attaches the registry and the occupancy
-// profiler and requires the trace hash to match the uninstrumented run —
-// observability must be invisible to the scheduler.
+// TestObservabilityDoesNotPerturb attaches the registry, the occupancy
+// profiler, the sched-doctor and its windowed sampler, and requires the
+// trace and span hashes to match the uninstrumented run — observability
+// must be invisible to the scheduler.
 func TestObservabilityDoesNotPerturb(t *testing.T) {
-	hBare, ssBare, _ := runObsScenario(9, false)
-	hObs, ssObs, occ := runObsScenario(9, true)
-	if hBare != hObs {
-		t.Fatalf("instrumentation perturbed the trace: %#x vs %#x", hBare, hObs)
+	bare := runObsScenario(9, false)
+	inst := runObsScenario(9, true)
+	if bare.hash != inst.hash {
+		t.Fatalf("instrumentation perturbed the trace: %#x vs %#x", bare.hash, inst.hash)
 	}
-	if ssBare.Hash() != ssObs.Hash() {
-		t.Fatalf("instrumentation perturbed the spans: %#x vs %#x", ssBare.Hash(), ssObs.Hash())
+	if bare.spans.Hash() != inst.spans.Hash() {
+		t.Fatalf("instrumentation perturbed the spans: %#x vs %#x",
+			bare.spans.Hash(), inst.spans.Hash())
 	}
-	if len(occ) != 3 {
-		t.Fatalf("occupancy report covers %d cores, want 3", len(occ))
+	if len(inst.occ) != 3 {
+		t.Fatalf("occupancy report covers %d cores, want 3", len(inst.occ))
 	}
-	for _, c := range occ {
+	for _, c := range inst.occ {
 		if c.Samples == 0 {
 			t.Fatalf("cpu %d never sampled", c.CPU)
 		}
@@ -123,5 +147,25 @@ func TestObservabilityDoesNotPerturb(t *testing.T) {
 		if sum < 0.999 || sum > 1.001 {
 			t.Fatalf("cpu %d shares sum to %v", c.CPU, sum)
 		}
+	}
+	if inst.report == nil || len(inst.report.Windows) == 0 || inst.report.Spans == 0 {
+		t.Fatalf("doctor produced no diagnosis: %+v", inst.report)
+	}
+}
+
+// TestDoctorReportDeterminism: two seeded instrumented runs must produce
+// byte-identical doctor JSON — the property BENCH_skyloft.json inherits.
+func TestDoctorReportDeterminism(t *testing.T) {
+	r1 := runObsScenario(11, true).report
+	r2 := runObsScenario(11, true).report
+	var j1, j2 bytes.Buffer
+	if err := r1.WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Fatalf("doctor reports diverged:\n%s\nvs\n%s", j1.String(), j2.String())
 	}
 }

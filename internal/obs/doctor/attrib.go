@@ -1,0 +1,164 @@
+package doctor
+
+import (
+	"sort"
+
+	"skyloft/internal/obs"
+	"skyloft/internal/simtime"
+	"skyloft/internal/stats"
+	"skyloft/internal/trace"
+)
+
+// AppAttribution decomposes one application's tail wakeup latencies — every
+// span at or above the configured quantile — into the four causes the
+// paper's §5.1 analysis identifies by hand:
+//
+//   - Queue: the dispatching core was busy and only freed up when its task
+//     voluntarily left (block/sleep/yield/exit) — the task simply waited
+//     its turn.
+//   - TickQuant: the core freed up through a preemption, and this portion
+//     of the wait (at most one tick period) is the quantisation cost of a
+//     periodic preemption tick — the component that collapses when the
+//     tick moves from CONFIG_HZ to Skyloft's 100 kHz user timer.
+//   - PreemptDelay: the remainder of a preemption-ended wait beyond one
+//     tick period (the policy let the incumbent keep running) — with an
+//     unknown tick period, the whole preemption-ended wait lands here.
+//   - Delivery: wake-IPI/UINTR delivery plus the dispatch path (pick,
+//     context switch) after the core was available.
+//
+// The four components sum exactly to each span's wakeup latency, so the
+// table answers "why is p99 what it is" with no residual.
+type AppAttribution struct {
+	App       int              `json:"app"`
+	TailSpans int              `json:"tail_spans"`
+	Threshold simtime.Duration `json:"threshold_ns"` // latency cutoff used
+
+	Queue        simtime.Duration `json:"queue_ns"`
+	TickQuant    simtime.Duration `json:"tick_quant_ns"`
+	PreemptDelay simtime.Duration `json:"preempt_delay_ns"`
+	Delivery     simtime.Duration `json:"delivery_ns"`
+
+	MaxLatency simtime.Duration `json:"max_latency_ns"`
+}
+
+// Total reports the attributed latency sum (= sum of tail wakeup latencies).
+func (a AppAttribution) Total() simtime.Duration {
+	return a.Queue + a.TickQuant + a.PreemptDelay + a.Delivery
+}
+
+func (a AppAttribution) share(part simtime.Duration) float64 {
+	t := a.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(part) / float64(t)
+}
+
+// spanKey identifies a span by its opening dispatch, which is unique in a
+// valid trace (one dispatch per core per instant, one first-dispatch per
+// span).
+type spanKey struct {
+	task int
+	at   simtime.Time
+}
+
+// attributeTails classifies every tail span's wakeup latency by replaying
+// the event stream with per-core occupancy state: what was the dispatching
+// core doing when the task woke, and which event freed it?
+func attributeTails(events []trace.Event, spans *obs.SpanSet, wake *stats.Hist, cfg Config) []AppAttribution {
+	if wake.Count() == 0 || len(events) == 0 {
+		return nil
+	}
+	// QuantileFloor (the quantile bucket's lower edge) rather than Quantile
+	// (its upper edge): the tail set must include the quantile bucket, or a
+	// tight distribution would have an empty "tail" at p99.
+	threshold := wake.QuantileFloor(cfg.TailQuantile)
+
+	// Index the tail spans by their first dispatch.
+	tails := map[spanKey]*obs.Span{}
+	for i := range spans.Spans {
+		s := &spans.Spans[i]
+		if s.WakeKnown && s.WakeLatency() >= threshold {
+			tails[spanKey{s.Task, s.FirstDispatch}] = s
+		}
+	}
+	if len(tails) == 0 {
+		return nil
+	}
+
+	// Per-core occupancy replay: occupied from Dispatch until the next
+	// off-CPU event on the same core, which also records how the core was
+	// released (voluntarily or by preemption).
+	type coreState struct {
+		lastFreeAt   simtime.Time
+		lastFreeKind trace.Kind
+		everOccupied bool
+	}
+	cores := map[int]*coreState{}
+	core := func(cpu int) *coreState {
+		cs := cores[cpu]
+		if cs == nil {
+			cs = &coreState{}
+			cores[cpu] = cs
+		}
+		return cs
+	}
+
+	byApp := map[int]*AppAttribution{}
+	account := func(s *obs.Span, cs *coreState) {
+		a := byApp[s.App]
+		if a == nil {
+			a = &AppAttribution{App: s.App, Threshold: threshold}
+			byApp[s.App] = a
+		}
+		a.TailSpans++
+		if lat := s.WakeLatency(); lat > a.MaxLatency {
+			a.MaxLatency = lat
+		}
+		w, d := s.Wake, s.FirstDispatch
+		if !cs.everOccupied || cs.lastFreeAt <= w {
+			// The core was already available at wake time: the whole
+			// latency is delivery + dispatch path.
+			a.Delivery += simtime.Duration(d - w)
+			return
+		}
+		// The core was busy at wake time and freed at lastFreeAt.
+		wait := simtime.Duration(cs.lastFreeAt - w)
+		a.Delivery += simtime.Duration(d - cs.lastFreeAt)
+		if cs.lastFreeKind == trace.Preempt {
+			tq := wait
+			if cfg.TickPeriod > 0 && tq > cfg.TickPeriod {
+				tq = cfg.TickPeriod
+			}
+			if cfg.TickPeriod == 0 {
+				tq = 0
+			}
+			a.TickQuant += tq
+			a.PreemptDelay += wait - tq
+			return
+		}
+		a.Queue += wait
+	}
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.Dispatch:
+			cs := core(ev.CPU)
+			if s, ok := tails[spanKey{ev.Task, ev.At}]; ok {
+				account(s, cs)
+			}
+			cs.everOccupied = true
+		case trace.Preempt, trace.Yield, trace.Block, trace.Sleep, trace.Exit:
+			cs := core(ev.CPU)
+			cs.lastFreeAt = ev.At
+			cs.lastFreeKind = ev.Kind
+		}
+	}
+
+	out := make([]AppAttribution, 0, len(byApp))
+	for _, a := range byApp {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return out
+}

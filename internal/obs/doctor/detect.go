@@ -1,0 +1,324 @@
+package doctor
+
+import (
+	"fmt"
+	"sort"
+
+	"skyloft/internal/obs"
+	"skyloft/internal/simtime"
+	"skyloft/internal/stats"
+	"skyloft/internal/trace"
+)
+
+// Finding codes.
+const (
+	// CodeWorkConservation: a core sat idle beyond the threshold while the
+	// runnable queue was non-empty.
+	CodeWorkConservation = "work-conservation"
+	// CodeStarvation: an application's task stayed runnable-but-undispatched
+	// beyond the starvation threshold.
+	CodeStarvation = "starvation"
+	// CodeImbalance: per-core busy shares spread wider than the threshold.
+	CodeImbalance = "imbalance"
+	// CodeTickBound: the wakeup-latency distribution clusters at a
+	// millisecond-scale period — the Fig. 5 Linux CONFIG_HZ signature.
+	CodeTickBound = "tick-bound"
+)
+
+// Finding is one structured pathology report: what, where, since when, how
+// often, and the evidence that convinced the detector.
+type Finding struct {
+	Code string `json:"code"`
+	// App scopes the finding to one application; -1 = system-wide.
+	App int `json:"app"`
+	// FirstAt is the virtual time of the first occurrence.
+	FirstAt simtime.Time `json:"first_at_ns"`
+	// Count is the number of occurrences observed.
+	Count uint64 `json:"count"`
+	// Value is the detector-specific magnitude (worst idle-waste ns,
+	// worst starvation ns, busy-share spread, implied tick Hz).
+	Value float64 `json:"value"`
+	// Evidence is a human-readable justification with the raw numbers.
+	Evidence string `json:"evidence"`
+}
+
+// detect runs every pathology detector and returns the findings in a
+// deterministic order (code, then app).
+func detect(events []trace.Event, spans *obs.SpanSet, wake *stats.Hist, cfg Config) []Finding {
+	var out []Finding
+	if f, ok := detectWorkConservation(events, cfg); ok {
+		out = append(out, f)
+	}
+	out = append(out, detectStarvation(spans, cfg)...)
+	if f, ok := detectImbalance(events, cfg); ok {
+		out = append(out, f)
+	}
+	if f, ok := TickBound(wake); ok {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Code != out[j].Code {
+			return out[i].Code < out[j].Code
+		}
+		return out[i].App < out[j].App
+	})
+	return out
+}
+
+// detectWorkConservation replays the event stream tracking the
+// reconstructed runqueue depth and per-core occupancy, and accumulates
+// maximal intervals during which work was queued while at least one core
+// sat idle. Intervals shorter than the threshold are dispatch paths in
+// flight, not violations.
+func detectWorkConservation(events []trace.Event, cfg Config) (Finding, bool) {
+	if len(events) == 0 || cfg.Cores == 0 {
+		return Finding{}, false
+	}
+	busy := make([]bool, cfg.Cores)
+	idleCores := cfg.Cores
+	depth := 0
+
+	var (
+		violStart    simtime.Time
+		inViol       bool
+		count        uint64
+		firstAt      simtime.Time
+		worst, total simtime.Duration
+	)
+	flush := func(now simtime.Time) {
+		if !inViol {
+			return
+		}
+		inViol = false
+		d := simtime.Duration(now - violStart)
+		if d < cfg.IdleWasteThreshold {
+			return
+		}
+		if count == 0 {
+			firstAt = violStart
+		}
+		count++
+		total += d
+		if d > worst {
+			worst = d
+		}
+	}
+	for _, ev := range events {
+		// State is piecewise constant between events: apply the event,
+		// then open or close a violation interval on the new state.
+		switch ev.Kind {
+		case trace.Dispatch:
+			if depth > 0 {
+				depth--
+			}
+			if ev.CPU >= 0 && ev.CPU < cfg.Cores && !busy[ev.CPU] {
+				busy[ev.CPU] = true
+				idleCores--
+			}
+		case trace.Wake:
+			depth++
+		case trace.Preempt, trace.Yield:
+			depth++
+			fallthrough
+		case trace.Block, trace.Sleep, trace.Exit:
+			if ev.CPU >= 0 && ev.CPU < cfg.Cores && busy[ev.CPU] {
+				busy[ev.CPU] = false
+				idleCores++
+			}
+		}
+		violating := depth > 0 && idleCores > 0
+		switch {
+		case violating && !inViol:
+			inViol = true
+			violStart = ev.At
+		case !violating && inViol:
+			flush(ev.At)
+		}
+	}
+	flush(events[len(events)-1].At)
+	if count == 0 {
+		return Finding{}, false
+	}
+	return Finding{
+		Code:    CodeWorkConservation,
+		App:     -1,
+		FirstAt: firstAt,
+		Count:   count,
+		Value:   float64(worst),
+		Evidence: fmt.Sprintf("%d intervals with idle cores while the runqueue was non-empty (>= %v each); worst %v, total %v",
+			count, cfg.IdleWasteThreshold, worst, total),
+	}, true
+}
+
+// detectStarvation flags applications whose spans waited runnable beyond
+// the starvation threshold before their first dispatch.
+func detectStarvation(spans *obs.SpanSet, cfg Config) []Finding {
+	type starv struct {
+		count   uint64
+		firstAt simtime.Time
+		worst   simtime.Duration
+	}
+	byApp := map[int]*starv{}
+	for _, s := range spans.Spans {
+		if !s.WakeKnown || s.WakeLatency() < cfg.StarvationThreshold {
+			continue
+		}
+		st := byApp[s.App]
+		if st == nil {
+			st = &starv{firstAt: s.Wake}
+			byApp[s.App] = st
+		}
+		st.count++
+		if s.Wake < st.firstAt {
+			st.firstAt = s.Wake
+		}
+		if s.WakeLatency() > st.worst {
+			st.worst = s.WakeLatency()
+		}
+	}
+	var out []Finding
+	for app, st := range byApp {
+		out = append(out, Finding{
+			Code:    CodeStarvation,
+			App:     app,
+			FirstAt: st.firstAt,
+			Count:   st.count,
+			Value:   float64(st.worst),
+			Evidence: fmt.Sprintf("%d wakeups waited >= %v for their first dispatch; worst %v",
+				st.count, cfg.StarvationThreshold, st.worst),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return out
+}
+
+// detectImbalance accumulates per-core busy time from the event stream and
+// flags a busy-share spread beyond the threshold — load stuck on some cores
+// while others coast (a PickCPU or SchedBalance defect).
+func detectImbalance(events []trace.Event, cfg Config) (Finding, bool) {
+	if len(events) == 0 || cfg.Cores < 2 {
+		return Finding{}, false
+	}
+	span := simtime.Duration(events[len(events)-1].At - events[0].At)
+	if span <= 0 {
+		return Finding{}, false
+	}
+	busySince := make([]simtime.Time, cfg.Cores)
+	running := make([]bool, cfg.Cores)
+	busyTime := make([]simtime.Duration, cfg.Cores)
+	for _, ev := range events {
+		if ev.CPU < 0 || ev.CPU >= cfg.Cores {
+			continue
+		}
+		switch ev.Kind {
+		case trace.Dispatch:
+			if !running[ev.CPU] {
+				running[ev.CPU] = true
+				busySince[ev.CPU] = ev.At
+			}
+		case trace.Preempt, trace.Yield, trace.Block, trace.Sleep, trace.Exit:
+			if running[ev.CPU] {
+				running[ev.CPU] = false
+				busyTime[ev.CPU] += simtime.Duration(ev.At - busySince[ev.CPU])
+			}
+		}
+	}
+	end := events[len(events)-1].At
+	for i := range running {
+		if running[i] {
+			busyTime[i] += simtime.Duration(end - busySince[i])
+		}
+	}
+	minShare, maxShare := 1.0, 0.0
+	argMin, argMax := 0, 0
+	var totalBusy simtime.Duration
+	for i, b := range busyTime {
+		share := float64(b) / float64(span)
+		totalBusy += b
+		if share < minShare {
+			minShare, argMin = share, i
+		}
+		if share > maxShare {
+			maxShare, argMax = share, i
+		}
+	}
+	spread := maxShare - minShare
+	// Require non-trivial load: an almost-idle machine is trivially
+	// "imbalanced" by its single busy core.
+	meanShare := float64(totalBusy) / float64(span) / float64(cfg.Cores)
+	if spread < cfg.ImbalanceThreshold || meanShare < 0.1 {
+		return Finding{}, false
+	}
+	return Finding{
+		Code:    CodeImbalance,
+		App:     -1,
+		FirstAt: events[0].At,
+		Count:   1,
+		Value:   spread,
+		Evidence: fmt.Sprintf("busy-share spread %.2f: cpu %d at %.0f%% vs cpu %d at %.0f%% (mean %.0f%%)",
+			spread, argMax, 100*maxShare, argMin, 100*minShare, 100*meanShare),
+	}, true
+}
+
+// TickBound inspects a wakeup-latency distribution for the Fig. 5 Linux
+// signature: latencies clustering at a millisecond-scale period, the
+// CONFIG_HZ tick bounding how fast the kernel can preempt. It is exported
+// standalone so the benchmark report can interrogate baseline histograms
+// that have no event stream behind them.
+//
+// Tick-bounding is a tail phenomenon: under oversubscription most wakeups
+// still dispatch fast, but the unlucky ones wait for the next kernel tick.
+// The detector therefore triggers when (1) the p99 wakeup latency sits at
+// >= 1 ms — microsecond-class schedulers like sky-cfs never get there —
+// with a non-trivial slow mass (>= 2% of wakeups), and (2) those slow
+// wakeups cluster around one dominant mode whose implied frequency lands
+// in the plausible CONFIG_HZ range (50..1200 Hz).
+func TickBound(wake *stats.Hist) (Finding, bool) {
+	total := wake.Count()
+	if total == 0 {
+		return Finding{}, false
+	}
+	const msFloor = simtime.Millisecond
+	if wake.P99() < msFloor {
+		return Finding{}, false
+	}
+	var above uint64
+	var modeCount uint64
+	var modeAt simtime.Duration
+	wake.Buckets(func(lower, upper simtime.Duration, count uint64) {
+		if lower < msFloor {
+			return
+		}
+		above += count
+		if count > modeCount {
+			modeCount, modeAt = count, lower
+		}
+	})
+	if above*50 < total || modeAt == 0 {
+		return Finding{}, false
+	}
+	impliedHz := float64(simtime.Second) / float64(modeAt)
+	if impliedHz < 50 || impliedHz > 1200 {
+		return Finding{}, false
+	}
+	// Cluster mass: slow wakeups within [mode/2, 2*mode] — one tick period
+	// give or take the histogram's log-linear resolution and harmonics.
+	var cluster uint64
+	wake.Buckets(func(lower, upper simtime.Duration, count uint64) {
+		if lower >= modeAt/2 && lower <= 2*modeAt {
+			cluster += count
+		}
+	})
+	if cluster*2 < above {
+		return Finding{}, false
+	}
+	return Finding{
+		Code:    CodeTickBound,
+		App:     -1,
+		FirstAt: 0,
+		Count:   above,
+		Value:   impliedHz,
+		Evidence: fmt.Sprintf("%d of %d wakeups >= 1ms, clustered at ~%v (implied tick ~%.0f Hz): %d of %d slow wakeups within [%v, %v]",
+			above, total, modeAt, impliedHz, cluster, above, modeAt/2, 2*modeAt),
+	}, true
+}

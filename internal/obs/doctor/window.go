@@ -1,0 +1,134 @@
+package doctor
+
+import (
+	"skyloft/internal/obs"
+	"skyloft/internal/simtime"
+	"skyloft/internal/stats"
+	"skyloft/internal/trace"
+)
+
+// WindowStats aggregates one fixed virtual-time window of the run: the
+// continuous view of the run that a single end-of-run histogram hides
+// (warm-up transients, throughput collapses, a queue that never drains).
+type WindowStats struct {
+	Start simtime.Time `json:"start_ns"`
+	End   simtime.Time `json:"end_ns"`
+
+	// Completed counts lifecycle spans that closed inside the window;
+	// ThroughputRPS is that count scaled to per-second.
+	Completed     int     `json:"completed"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// Wakeup-latency percentiles of spans whose first dispatch landed in
+	// this window (spans with a known wake instant only).
+	WakeSamples uint64           `json:"wake_samples"`
+	WakeP50     simtime.Duration `json:"wake_p50_ns"`
+	WakeP99     simtime.Duration `json:"wake_p99_ns"`
+
+	// RunqHighWater is the deepest the runnable queue got during the
+	// window, reconstructed from the event stream (wakes and preemption /
+	// yield re-enqueues push, dispatches pop).
+	RunqHighWater int `json:"runq_high_water"`
+
+	// Event rates: raw counts of the window's scheduling activity.
+	// Preempts double as the user-IPI delivery rate — every involuntary
+	// preemption in the Skyloft engines rides a user interrupt.
+	Dispatches uint64 `json:"dispatches"`
+	Wakes      uint64 `json:"wakes"`
+	Preempts   uint64 `json:"preempts"`
+	Steals     uint64 `json:"steals"`
+}
+
+// wakeHist builds the overall wakeup-latency histogram from spans with a
+// known wake instant.
+func wakeHist(spans *obs.SpanSet) *stats.Hist {
+	h := stats.NewHist()
+	for _, s := range spans.Spans {
+		if s.WakeKnown {
+			h.Record(s.WakeLatency())
+		}
+	}
+	return h
+}
+
+// buildWindows slices the event stream into fixed virtual-time windows. The
+// window width doubles until the run fits in maxWindows windows, so a long
+// sweep cannot blow up the report. The second result is the union of the
+// per-window wakeup histograms (via stats.Hist.Merge) — by construction it
+// equals the whole-run histogram, and TestWindowHistsMergeToOverall holds
+// the two to that identity.
+func buildWindows(events []trace.Event, spans *obs.SpanSet, cfg Config) ([]WindowStats, *stats.Hist) {
+	if len(events) == 0 {
+		return nil, stats.NewHist()
+	}
+	t0 := events[0].At
+	tN := events[len(events)-1].At
+	w := cfg.Window
+	for int64((tN-t0)/w)+1 > maxWindows {
+		w *= 2
+	}
+	n := int((tN-t0)/w) + 1
+	out := make([]WindowStats, n)
+	hists := make([]*stats.Hist, n)
+	for i := range out {
+		out[i].Start = t0 + simtime.Time(i)*w
+		out[i].End = out[i].Start + w
+		hists[i] = stats.NewHist()
+	}
+	idx := func(at simtime.Time) int {
+		i := int((at - t0) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+
+	// Event counts and the reconstructed runqueue depth. Initial
+	// submissions enter the queue without a Wake event, so the
+	// reconstruction is a lower bound; it is clamped at zero.
+	depth := 0
+	for _, ev := range events {
+		ws := &out[idx(ev.At)]
+		switch ev.Kind {
+		case trace.Dispatch:
+			ws.Dispatches++
+			if depth > 0 {
+				depth--
+			}
+		case trace.Wake:
+			ws.Wakes++
+			depth++
+		case trace.Preempt, trace.Yield:
+			if ev.Kind == trace.Preempt {
+				ws.Preempts++
+			}
+			depth++
+		case trace.Steal:
+			ws.Steals++
+		}
+		if depth > ws.RunqHighWater {
+			ws.RunqHighWater = depth
+		}
+	}
+
+	// Span-derived per-window signals: completions by end time, wakeup
+	// latency by first-dispatch time.
+	for _, s := range spans.Spans {
+		out[idx(s.End)].Completed++
+		if s.WakeKnown {
+			hists[idx(s.FirstDispatch)].Record(s.WakeLatency())
+		}
+	}
+	merged := stats.NewHist()
+	for i := range out {
+		out[i].ThroughputRPS = float64(out[i].Completed) * float64(simtime.Second) / float64(w)
+		out[i].WakeSamples = hists[i].Count()
+		out[i].WakeP50 = hists[i].P50()
+		out[i].WakeP99 = hists[i].P99()
+		merged.Merge(hists[i])
+	}
+	return out, merged
+}

@@ -10,11 +10,13 @@ import (
 )
 
 // Flags is the standard observability flag set shared by the cmds
-// (skyloft-trace, skyloft-bench, schbench): -trace-out, -metrics-out and
-// -occupancy. Bind before flag.Parse.
+// (skyloft-trace, skyloft-bench, schbench): -trace-out, -metrics-out,
+// -doctor-out and -occupancy. Bind before flag.Parse. Every *-out flag
+// accepts "-" for stdout.
 type Flags struct {
 	TraceOut   string
 	MetricsOut string
+	DoctorOut  string
 	Occupancy  bool
 }
 
@@ -22,15 +24,32 @@ type Flags struct {
 // flag set.
 func BindFlags() *Flags {
 	f := &Flags{}
-	flag.StringVar(&f.TraceOut, "trace-out", "", "write a Perfetto/Chrome trace_event JSON file")
-	flag.StringVar(&f.MetricsOut, "metrics-out", "", "write a metrics-registry snapshot as JSON")
+	flag.StringVar(&f.TraceOut, "trace-out", "", "write a Perfetto/Chrome trace_event JSON file (\"-\" for stdout)")
+	flag.StringVar(&f.MetricsOut, "metrics-out", "", "write a metrics-registry snapshot as JSON (\"-\" for stdout)")
+	flag.StringVar(&f.DoctorOut, "doctor-out", "", "write the sched-doctor diagnosis as JSON (\"-\" for stdout)")
 	flag.BoolVar(&f.Occupancy, "occupancy", false, "print the per-core occupancy profile")
 	return f
 }
 
 // Active reports whether any observability output was requested.
 func (f *Flags) Active() bool {
-	return f.TraceOut != "" || f.MetricsOut != "" || f.Occupancy
+	return f.TraceOut != "" || f.MetricsOut != "" || f.DoctorOut != "" || f.Occupancy
+}
+
+// nopWriteCloser keeps stdout open when a *-out flag is "-": the emit
+// helpers Close what they open, and closing os.Stdout would sabotage every
+// later write to it.
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+// openOut opens an output destination: "-" means stdout (not closed),
+// anything else is created as a file.
+func openOut(path string) (io.WriteCloser, error) {
+	if path == "-" {
+		return nopWriteCloser{os.Stdout}, nil
+	}
+	return os.Create(path)
 }
 
 // EmitTrace writes the event window as trace_event JSON to the -trace-out
@@ -39,7 +58,7 @@ func (f *Flags) EmitTrace(events []trace.Event, cfg ExportConfig) error {
 	if f.TraceOut == "" {
 		return nil
 	}
-	out, err := os.Create(f.TraceOut)
+	out, err := openOut(f.TraceOut)
 	if err != nil {
 		return err
 	}
@@ -47,8 +66,10 @@ func (f *Flags) EmitTrace(events []trace.Event, cfg ExportConfig) error {
 	if err := WritePerfetto(out, events, cfg); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d events) — open at https://ui.perfetto.dev\n",
-		f.TraceOut, len(events))
+	if f.TraceOut != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d events) — open at https://ui.perfetto.dev\n",
+			f.TraceOut, len(events))
+	}
 	return out.Close()
 }
 
@@ -58,12 +79,36 @@ func (f *Flags) EmitMetrics(reg *Registry) error {
 	if f.MetricsOut == "" {
 		return nil
 	}
-	out, err := os.Create(f.MetricsOut)
+	out, err := openOut(f.MetricsOut)
 	if err != nil {
 		return err
 	}
 	defer out.Close()
 	if err := reg.WriteJSON(out); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// JSONReport is anything that can serialise itself as JSON — in practice
+// the sched-doctor's *doctor.Report, accepted as an interface so obs does
+// not import its own subpackage.
+type JSONReport interface {
+	WriteJSON(io.Writer) error
+}
+
+// EmitDoctor writes a doctor report as JSON to the -doctor-out path (no-op
+// when unset or when r is nil).
+func (f *Flags) EmitDoctor(r JSONReport) error {
+	if f.DoctorOut == "" || r == nil {
+		return nil
+	}
+	out, err := openOut(f.DoctorOut)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := r.WriteJSON(out); err != nil {
 		return err
 	}
 	return out.Close()

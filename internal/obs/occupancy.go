@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -110,11 +111,11 @@ func (p *Profiler) Samples() uint64 { return p.samples }
 // CoreOccupancy is one core's accumulated time shares (fractions of the
 // sampled interval; Busy = Kernel + sum of Apps).
 type CoreOccupancy struct {
-	CPU     int
-	Samples uint64
-	Idle    float64
-	Kernel  float64
-	Apps    []float64 // indexed by app ID
+	CPU     int       `json:"cpu"`
+	Samples uint64    `json:"samples"`
+	Idle    float64   `json:"idle"`
+	Kernel  float64   `json:"kernel"`
+	Apps    []float64 `json:"apps"` // indexed by app ID
 }
 
 // Busy reports the non-idle share.
@@ -137,6 +138,32 @@ func (p *Profiler) Report() []CoreOccupancy {
 		out[i] = o
 	}
 	return out
+}
+
+// OccupancySnapshot is the machine-readable form of the profile — the same
+// numbers WriteReport prints, shaped for BENCH_skyloft.json. It marshals
+// deterministically (no maps, no wall-clock values).
+type OccupancySnapshot struct {
+	Samples  uint64           `json:"samples"`
+	Interval simtime.Duration `json:"interval_ns"`
+	Cores    []CoreOccupancy  `json:"cores"`
+}
+
+// Snapshot captures the profile as a machine-readable snapshot.
+func (p *Profiler) Snapshot() *OccupancySnapshot {
+	return &OccupancySnapshot{
+		Samples:  p.samples,
+		Interval: p.interval,
+		Cores:    p.Report(),
+	}
+}
+
+// WriteJSON writes the snapshot as indented JSON (byte-stable for identical
+// profiles).
+func (s *OccupancySnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
 }
 
 // WriteReport renders the occupancy profile, one line per core; appNames

@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/bits"
 
@@ -171,11 +172,78 @@ func (h *Hist) Quantile(q float64) simtime.Duration {
 	return h.max
 }
 
+// QuantileFloor reports the inclusive lower edge of the bucket the
+// q-quantile lands in, clamped to the observed min. Selecting samples with
+// v >= QuantileFloor(q) always keeps the quantile bucket itself — a
+// guarantee the upper-edge estimate of Quantile cannot make (every sample
+// in the top bucket can sit below that bucket's upper edge).
+func (h *Hist) QuantileFloor(q float64) simtime.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			lower := lowerBound(i)
+			if lower < h.min {
+				lower = h.min
+			}
+			return lower
+		}
+	}
+	return h.max
+}
+
 // P50, P90, P99, P999 are convenience accessors for common tail quantiles.
 func (h *Hist) P50() simtime.Duration  { return h.Quantile(0.50) }
 func (h *Hist) P90() simtime.Duration  { return h.Quantile(0.90) }
 func (h *Hist) P99() simtime.Duration  { return h.Quantile(0.99) }
 func (h *Hist) P999() simtime.Duration { return h.Quantile(0.999) }
+
+// Buckets calls fn for every non-empty bucket in ascending value order with
+// the bucket's inclusive lower bound, inclusive upper bound, and count. The
+// doctor's distribution detectors and CDF dumps are built on this.
+func (h *Hist) Buckets(fn func(lower, upper simtime.Duration, count uint64)) {
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		fn(lowerBound(i), lowerBound(i+1)-1, c)
+	}
+}
+
+// CDF writes the cumulative distribution, one line per non-empty bucket:
+// the bucket's upper bound, the cumulative count, and the cumulative
+// fraction. The final line always reaches fraction 1.
+func (h *Hist) CDF(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# n=%d min=%v max=%v\n", h.n, h.Min(), h.Max()); err != nil {
+		return err
+	}
+	var cum uint64
+	var ferr error
+	h.Buckets(func(lower, upper simtime.Duration, count uint64) {
+		if ferr != nil {
+			return
+		}
+		cum += count
+		if upper > h.max {
+			upper = h.max
+		}
+		_, ferr = fmt.Fprintf(w, "%-14v %10d %8.6f\n", upper, cum, float64(cum)/float64(h.n))
+	})
+	return ferr
+}
 
 // Reset clears all observations.
 func (h *Hist) Reset() {

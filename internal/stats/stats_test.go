@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -70,6 +72,153 @@ func TestHistMergeEqualsCombined(t *testing.T) {
 	}
 	if a.Min() != both.Min() || a.Max() != both.Max() {
 		t.Error("merged min/max mismatch")
+	}
+}
+
+// QuantileFloor must never exceed Quantile, must respect the observed min,
+// and selecting v >= QuantileFloor(q) must keep at least one sample — even
+// for a single-valued distribution, where the upper-edge Quantile estimate
+// sits above every actual sample.
+func TestHistQuantileFloor(t *testing.T) {
+	h := NewHist()
+	for i := 0; i < 100; i++ {
+		h.Record(1000)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 0.999} {
+		f := h.QuantileFloor(q)
+		if f > 1000 {
+			t.Fatalf("QuantileFloor(%v) = %v excludes every sample", q, f)
+		}
+		if f > h.Quantile(q) {
+			t.Fatalf("QuantileFloor(%v) = %v > Quantile = %v", q, f, h.Quantile(q))
+		}
+		if f < h.Min() {
+			t.Fatalf("QuantileFloor(%v) = %v below min %v", q, f, h.Min())
+		}
+	}
+	if NewHist().QuantileFloor(0.99) != 0 {
+		t.Fatal("empty hist QuantileFloor != 0")
+	}
+	spread := NewHist()
+	for i := 1; i <= 1000; i++ {
+		spread.Record(simtime.Duration(i) * simtime.Microsecond)
+	}
+	// The floor of the p99 bucket must sit at or below the true p99 (990 µs)
+	// and within one bucket's resolution of it.
+	f := spread.QuantileFloor(0.99)
+	if f > 990*simtime.Microsecond || f < 950*simtime.Microsecond {
+		t.Fatalf("QuantileFloor(0.99) = %v, want just below 990µs", f)
+	}
+}
+
+// Merge at bucket boundaries: the values where the log-linear scheme
+// switches magnitude (63/64, 127/128, …) must land in the same buckets
+// whether recorded directly or merged from another histogram.
+func TestHistMergeBucketBoundaries(t *testing.T) {
+	boundaries := []simtime.Duration{0, 1, 63, 64, 65, 127, 128, 129, 4095, 4096, 1 << 30, 1<<30 + 1}
+	a, b, both := NewHist(), NewHist(), NewHist()
+	for i, v := range boundaries {
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		both.Record(v)
+	}
+	a.Merge(b)
+	if a.Count() != both.Count() || a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatalf("merged summary diverged: %v vs %v", a, both)
+	}
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("q=%v: merged %v != combined %v", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+	// Merging an empty histogram is the identity.
+	pre := a.String()
+	a.Merge(NewHist())
+	if a.String() != pre {
+		t.Fatalf("merging empty changed histogram: %q -> %q", pre, a.String())
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	h := NewHist()
+	vals := []simtime.Duration{0, 63, 64, 1000, 1000, 1 << 20}
+	for _, v := range vals {
+		h.Record(v)
+	}
+	var total uint64
+	prevUpper := simtime.Duration(-1)
+	h.Buckets(func(lower, upper simtime.Duration, count uint64) {
+		if lower <= prevUpper {
+			t.Fatalf("buckets not ascending: lower %v after upper %v", lower, prevUpper)
+		}
+		if upper < lower {
+			t.Fatalf("bucket [%v,%v] inverted", lower, upper)
+		}
+		prevUpper = upper
+		total += count
+	})
+	if total != uint64(len(vals)) {
+		t.Fatalf("bucket counts sum to %d, want %d", total, len(vals))
+	}
+	// Each recorded value must fall inside some reported bucket.
+	for _, v := range vals {
+		found := false
+		h.Buckets(func(lower, upper simtime.Duration, count uint64) {
+			if v >= lower && v <= upper {
+				found = true
+			}
+		})
+		if !found {
+			t.Fatalf("value %v not covered by any bucket", v)
+		}
+	}
+}
+
+func TestHistCDF(t *testing.T) {
+	h := NewHist()
+	for i := 0; i < 100; i++ {
+		h.Record(simtime.Duration(i * 1000))
+	}
+	var buf strings.Builder
+	if err := h.CDF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("CDF too short:\n%s", buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "# n=100") {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	// Cumulative fraction is monotone and ends at 1.
+	prev := -1.0
+	for _, ln := range lines[1:] {
+		fields := strings.Fields(ln)
+		if len(fields) != 3 {
+			t.Fatalf("bad CDF line %q", ln)
+		}
+		f, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f < prev {
+			t.Fatalf("CDF not monotone at %q", ln)
+		}
+		prev = f
+	}
+	if math.Abs(prev-1.0) > 1e-9 {
+		t.Fatalf("CDF ends at %v, want 1", prev)
+	}
+	// Empty histogram: header only, no NaNs.
+	buf.Reset()
+	if err := NewHist().CDF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); !strings.HasPrefix(got, "# n=0") || strings.Contains(got, "NaN") {
+		t.Fatalf("empty CDF = %q", got)
 	}
 }
 
