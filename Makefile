@@ -1,13 +1,14 @@
 GO ?= go
 
 # Tier-1+ gate: everything CI (and the next contributor) should run before
-# merging. `vet` + `build` + the full test suite under the race detector
-# (the parallel sweep runner makes -race meaningful), then a short
-# benchmark smoke to catch accidental allocation regressions in the event
-# core, the observability smoke, and the benchmark regression gate against
-# the committed BENCH_skyloft.json.
+# merging, in order: `vet` + `build`, then `lint` (simlint determinism
+# checks + gofmt — static, so it runs before the expensive dynamic gates),
+# the full test suite under the race detector (the parallel sweep runner
+# makes -race meaningful), a short benchmark smoke to catch accidental
+# allocation regressions in the event core, the observability smoke, and
+# the benchmark regression gate against the committed BENCH_skyloft.json.
 .PHONY: check
-check: vet build race bench-smoke trace-smoke bench-gate
+check: vet build lint race bench-smoke trace-smoke bench-gate
 
 .PHONY: vet
 vet:
@@ -16,6 +17,17 @@ vet:
 .PHONY: build
 build:
 	$(GO) build ./...
+
+# Determinism lint: cmd/simlint statically enforces the reproducibility
+# invariants (no wall clock, no global rand, no unordered map iteration,
+# no bare goroutines or multi-case selects, no raw nanosecond literals) in
+# simulation code — see DESIGN.md §9. Also fails on files gofmt would
+# rewrite, so the tree stays formatted.
+.PHONY: lint
+lint:
+	$(GO) run ./cmd/simlint ./internal/... ./cmd/...
+	@fmt=$$(gofmt -l .); \
+	if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 
 # Tier-1 as defined in ROADMAP.md.
 .PHONY: test

@@ -1,0 +1,87 @@
+// Command simlint runs the determinism lint suite over this module's
+// packages and exits non-zero on any unsuppressed finding. It is the static
+// half of the repo's reproducibility gate (`make lint`, inside
+// `make check`): the golden trace/span hashes and cmd/benchdiff catch a
+// determinism break at run time on the configurations they cover, simlint
+// rejects the hazard pattern on every path at review time.
+//
+// Usage:
+//
+//	simlint [-show-suppressed] [-list] [pattern ...]
+//
+// Patterns are module-relative ("./internal/...", "./cmd/skyloft-bench");
+// the default is every package under ./internal/... and ./cmd/... . The
+// loader is self-contained: module imports resolve against the module tree
+// and standard-library imports are type-checked from GOROOT source, so the
+// tool needs no network and no external modules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"skyloft/internal/lint"
+)
+
+func main() {
+	showSuppressed := flag.Bool("show-suppressed", false, "also print findings excused by //simlint:allow or the built-in allowlist")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/...", "./cmd/..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	modRoot, err := lint.FindModRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(modRoot)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	analyzers := lint.All()
+	findings, suppressed := 0, 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.Run(pkg, analyzers) {
+			if d.Suppressed {
+				suppressed++
+				if *showSuppressed {
+					fmt.Printf("%s (suppressed: %s)\n", d, d.Reason)
+				}
+				continue
+			}
+			findings++
+			fmt.Println(d)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s) in %d package(s) (%d suppressed)\n",
+			findings, len(pkgs), suppressed)
+		os.Exit(1)
+	}
+	fmt.Printf("simlint: %d packages clean (%d suppressed finding(s))\n", len(pkgs), suppressed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simlint:", err)
+	os.Exit(2)
+}

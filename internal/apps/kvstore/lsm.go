@@ -1,6 +1,10 @@
 package kvstore
 
-import "sort"
+import (
+	"sort"
+
+	"skyloft/internal/det"
+)
 
 // LSM is a miniature log-structured merge store standing in for RocksDB:
 // writes land in a memtable; full memtables flush to immutable sorted runs;
@@ -51,10 +55,9 @@ func (l *LSM) flush() {
 	}
 	l.flushes++
 	run := make([]kv, 0, len(l.memtable))
-	for k, v := range l.memtable {
-		run = append(run, kv{k, v})
+	for _, k := range det.SortedKeys(l.memtable) {
+		run = append(run, kv{k, l.memtable[k]})
 	}
-	sort.Slice(run, func(i, j int) bool { return run[i].k < run[j].k })
 	l.runs = append([][]kv{run}, l.runs...)
 	l.memtable = make(map[string]string)
 	if len(l.runs) >= l.compactAfter {
@@ -72,10 +75,9 @@ func (l *LSM) compact() {
 		}
 	}
 	run := make([]kv, 0, len(merged))
-	for k, v := range merged {
-		run = append(run, kv{k, v})
+	for _, k := range det.SortedKeys(merged) {
+		run = append(run, kv{k, merged[k]})
 	}
-	sort.Slice(run, func(i, j int) bool { return run[i].k < run[j].k })
 	l.runs = [][]kv{run}
 }
 
@@ -106,16 +108,12 @@ func (l *LSM) Scan(start, end string, limit int) []string {
 			seen[run[j].k] = run[j].v
 		}
 	}
-	for k, v := range l.memtable {
+	for _, k := range det.SortedKeys(l.memtable) {
 		if k >= start && k < end {
-			seen[k] = v
+			seen[k] = l.memtable[k]
 		}
 	}
-	keys := make([]string, 0, len(seen))
-	for k := range seen {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	keys := det.SortedKeys(seen)
 	if limit > 0 && len(keys) > limit {
 		keys = keys[:limit]
 	}

@@ -60,7 +60,7 @@ func (v Variant) Params() ksched.Params {
 		return p
 	case EEVDFTuned:
 		p := ksched.TunedParams()
-		p.BaseSlice = 12500
+		p.BaseSlice = 12500 * simtime.Nanosecond
 		return p
 	default:
 		return ksched.DefaultParams()

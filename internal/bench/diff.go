@@ -2,8 +2,9 @@ package bench
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+
+	"skyloft/internal/det"
 )
 
 // Tolerance bounds how far a metric may drift from its baseline before the
@@ -36,10 +37,13 @@ func DefaultDiffConfig() DiffConfig {
 }
 
 func (c DiffConfig) tolerance(metric string) Tolerance {
+	// Sorted iteration makes the longest-prefix winner deterministic even
+	// when two configured prefixes tie in length: the lexicographically
+	// last one wins, every run.
 	best, bestLen := c.Default, -1
-	for prefix, t := range c.PerPrefix {
-		if strings.HasPrefix(metric, prefix) && len(prefix) > bestLen {
-			best, bestLen = t, len(prefix)
+	for _, prefix := range det.SortedKeys(c.PerPrefix) {
+		if strings.HasPrefix(metric, prefix) && len(prefix) >= bestLen {
+			best, bestLen = c.PerPrefix[prefix], len(prefix)
 		}
 	}
 	return best
@@ -69,12 +73,7 @@ func DiffReports(baseline, candidate *BenchReport, cfg DiffConfig) []Regression 
 			baseline.Quick, baseline.Seed, candidate.Quick, candidate.Seed)})
 	}
 
-	metrics := make([]string, 0, len(baseline.Metrics))
-	for m := range baseline.Metrics {
-		metrics = append(metrics, m)
-	}
-	sort.Strings(metrics)
-	for _, m := range metrics {
+	for _, m := range det.SortedKeys(baseline.Metrics) {
 		old := baseline.Metrics[m]
 		now, ok := candidate.Metrics[m]
 		if !ok {
@@ -94,12 +93,7 @@ func DiffReports(baseline, candidate *BenchReport, cfg DiffConfig) []Regression 
 		}
 	}
 
-	scopes := make([]string, 0, len(baseline.Findings))
-	for s := range baseline.Findings {
-		scopes = append(scopes, s)
-	}
-	sort.Strings(scopes)
-	for _, scope := range scopes {
+	for _, scope := range det.SortedKeys(baseline.Findings) {
 		baseCodes := map[string]bool{}
 		for _, f := range baseline.Findings[scope] {
 			baseCodes[f.Code] = true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"skyloft/internal/det"
 	"skyloft/internal/sched"
 	"skyloft/internal/simtime"
 	"skyloft/internal/trace"
@@ -241,7 +242,11 @@ func (e *Engine) maybeGrantBE(w *coreCtx) bool {
 	if e.central.Len() > 0 {
 		return false
 	}
-	for app, q := range e.allocState.beQueues {
+	// Deterministic grant order: lowest BE app ID first. A bare map range
+	// here handed the core to whichever app Go's randomized iteration
+	// yielded first — replay-breaking once two BE apps have work queued.
+	for _, app := range det.SortedKeys(e.allocState.beQueues) {
+		q := e.allocState.beQueues[app]
 		if len(q) == 0 {
 			continue
 		}

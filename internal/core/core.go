@@ -306,12 +306,12 @@ func (q *qcCont) run() {
 
 // coreCtx is one isolated core's scheduler state.
 type coreCtx struct {
-	e       *Engine
-	idx     int // index into Engine.cores (worker index)
-	hwc     *hw.Core
-	recv    *uintrsim.Receiver
-	send    *uintrsim.Sender
-	deleg   *uintrsim.TimerDelegation
+	e         *Engine
+	idx       int // index into Engine.cores (worker index)
+	hwc       *hw.Core
+	recv      *uintrsim.Receiver
+	send      *uintrsim.Sender
+	deleg     *uintrsim.TimerDelegation
 	curr      *sched.Thread
 	lastRanID int // ID of the last task that ran here (0 = none)
 	currApp   int

@@ -1,0 +1,27 @@
+// Package det holds small helpers for writing deterministic code. The
+// simulator's reproducibility contract (DESIGN.md §9) forbids publishing
+// map-iteration order anywhere it can reach sim state, trace output, or a
+// hashed/serialised report, and simlint's maporder analyzer enforces that
+// statically. SortedKeys is the blessed replacement for a bare map range.
+package det
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order, giving map iteration a
+// deterministic order:
+//
+//	for _, k := range det.SortedKeys(m) {
+//		v := m[k]
+//		...
+//	}
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m { //simlint:allow maporder collecting keys to sort is the one order-safe map range
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

@@ -174,8 +174,8 @@ type Core struct {
 	pending     []IRQ // queued IRQs from pendingHead on (head-indexed ring)
 	pendingHead int
 	deliverEvt  simtime.Event
-	deliverFn  func() // scheduleDelivery callback, allocated once per core
-	runDoneFn  func() // StartRun completion callback, allocated once per core
+	deliverFn   func() // scheduleDelivery callback, allocated once per core
+	runDoneFn   func() // StartRun completion callback, allocated once per core
 
 	busyAccum simtime.Duration // total occupied time, for utilisation stats
 }

@@ -79,9 +79,9 @@ func DefaultParams() Params {
 func TunedParams() Params {
 	p := DefaultParams()
 	p.HZ = 1000
-	p.MinGranularity = 12500 // 12.5 µs
+	p.MinGranularity = 12500 * simtime.Nanosecond // 12.5 µs
 	p.SchedLatency = 50 * simtime.Microsecond
-	p.BaseSlice = 12500
+	p.BaseSlice = 12500 * simtime.Nanosecond
 	return p
 }
 

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand flags math/rand (and math/rand/v2) usage that draws from the
+// process-global generator: top-level convenience functions share hidden
+// state, so adding a draw anywhere perturbs every other draw, and since Go
+// 1.20 the global source is randomly seeded — two runs never agree.
+// Simulation randomness flows through internal/rng, where every component
+// owns an explicitly seeded splitmix64 stream. Constructing an explicitly
+// seeded local generator (rand.New(rand.NewSource(seed))) is tolerated so
+// tests and offline tooling can use the stdlib shapes.
+var GlobalRand = &Analyzer{
+	Name:    "globalrand",
+	Doc:     "forbid math/rand top-level functions and unseeded sources; randomness flows through seeded internal/rng streams",
+	InScope: moduleScope,
+	Run:     runGlobalRand,
+}
+
+// globalRandAllowed lists the math/rand identifiers that do NOT touch the
+// global source: constructors for explicitly seeded generators. Everything
+// else package-qualified (Intn, Float64, Perm, Shuffle, Seed, N, ...) is
+// the global-state family and is flagged.
+var globalRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path := pkgPathOfSelector(pass, sel)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if globalRandAllowed[sel.Sel.Name] {
+				return true
+			}
+			// Referencing a type (rand.Rand, rand.Source) is fine.
+			if _, isType := pass.Info.Uses[sel.Sel].(*types.TypeName); isType {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s draws from process-global random state; use a seeded internal/rng stream", path, sel.Sel.Name)
+			return true
+		})
+	}
+}

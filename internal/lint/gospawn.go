@@ -1,0 +1,31 @@
+package lint
+
+import "go/ast"
+
+// GoSpawn flags bare `go` statements in deterministic packages. The
+// simulator's concurrency is cooperative: simulated threads are proc.P
+// coroutines with strict channel handoff (exactly one runnable goroutine),
+// so host-scheduler interleaving can never order two sim operations. A
+// bare goroutine reintroduces exactly that race — deterministic-ULI work
+// (PAPERS.md) shows delivery *ordering* is where replay quietly breaks.
+// The two sanctioned spawn sites are internal/proc itself and the
+// bench.Sweep worker pool (whole-simulation parallelism with input-order
+// results); real-runtime measurement code carries a //simlint:allow.
+var GoSpawn = &Analyzer{
+	Name:    "gospawn",
+	Doc:     "forbid bare go statements in deterministic packages; spawn through the proc.P pool or bench.Sweep",
+	InScope: realConcurrencyScope,
+	Run:     runGoSpawn,
+}
+
+func runGoSpawn(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"bare goroutine in a deterministic package; host interleaving is nondeterministic — use the proc.P coroutine pool or bench.Sweep")
+			}
+			return true
+		})
+	}
+}

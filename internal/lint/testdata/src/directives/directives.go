@@ -1,0 +1,17 @@
+// Package directives exercises simlint's directive hygiene: a malformed
+// //simlint:allow — unknown analyzer, no analyzer, or no reason — is itself
+// a finding from the pseudo-analyzer "simlint", and the broken directive
+// suppresses nothing.
+package directives
+
+import "time"
+
+func badDirectives() {
+	_ = time.Now()               //simlint:allow wallhack took a wrong turn // want `simlint:allow names unknown analyzer "wallhack"` `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) //simlint:allow wallclock // want `simlint:allow wallclock has no reason` `time\.Sleep reads the wall clock`
+	//simlint:allow // want `simlint:allow directive names no analyzer`
+}
+
+func goodDirective() {
+	_ = time.Now() //simlint:allow wallclock fixture: well-formed directive suppresses cleanly
+}

@@ -1,0 +1,43 @@
+// Package durationlit exercises the durationlit analyzer: raw integer
+// nanosecond literals compared against, assigned to, or converted to
+// simtime values are findings; typed constants, zero/±1 sentinels, and
+// unit-free scaling stay legal.
+package durationlit
+
+import "skyloft/internal/simtime"
+
+const rawCost simtime.Duration = 350 // want `raw nanosecond literal 350 assigned to`
+
+func bad(d simtime.Duration, t simtime.Time) bool {
+	if d > 50000 { // want `raw nanosecond literal 50000 compared against`
+		return true
+	}
+	d = 12500                           // want `raw nanosecond literal 12500 assigned to`
+	d += 100                            // want `raw nanosecond literal 100 assigned to`
+	var timeout simtime.Duration = 5000 // want `raw nanosecond literal 5000 assigned to`
+	_ = timeout
+	x := simtime.Time(99999) // want `raw nanosecond literal 99999 converted to`
+	_ = x
+	_ = d
+	return 2000 == t // want `raw nanosecond literal 2000 compared against`
+}
+
+func suppressed(d simtime.Duration) bool {
+	return d > 12345 //simlint:allow durationlit fixture: legacy threshold pending conversion
+}
+
+func legal(d simtime.Duration) bool {
+	if d > 50*simtime.Microsecond { // typed constants carry the unit
+		return true
+	}
+	d = 0 // zero values are unit-free
+	if d == 1 {
+		d = -1 // ±1 ns sentinels and epsilons are idiomatic
+	}
+	d *= 2 // scaling is unit-free
+	d /= 4
+	n := 5000 // plain integers unrelated to simtime stay legal
+	_ = n
+	var lim simtime.Duration = simtime.Infinity
+	return d < lim
+}

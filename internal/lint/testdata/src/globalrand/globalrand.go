@@ -1,0 +1,31 @@
+// Package globalrand exercises the globalrand analyzer: the math/rand
+// top-level convenience functions share hidden randomly-seeded state and
+// are findings; explicitly seeded local generators and type references
+// stay legal.
+package globalrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func bad() {
+	_ = rand.Intn(10)                  // want `math/rand\.Intn draws from process-global random state`
+	_ = rand.Float64()                 // want `math/rand\.Float64 draws from process-global random state`
+	_ = rand.Perm(4)                   // want `math/rand\.Perm draws from process-global random state`
+	rand.Shuffle(4, func(i, j int) {}) // want `math/rand\.Shuffle draws from process-global random state`
+	_ = randv2.IntN(10)                // want `math/rand/v2\.IntN draws from process-global random state`
+	_ = randv2.N(10)                   // want `math/rand/v2\.N draws from process-global random state`
+}
+
+func suppressed() {
+	_ = rand.Intn(10) //simlint:allow globalrand fixture: shuffling a host-side work list
+}
+
+func legal() int {
+	r := rand.New(rand.NewSource(7)) // explicitly seeded local generator
+	var z *rand.Zipf                 // type reference
+	_ = z
+	p := randv2.New(randv2.NewPCG(1, 2))
+	return r.Intn(10) + p.IntN(10)
+}

@@ -1,0 +1,91 @@
+// Package maporder exercises the maporder analyzer: map ranges whose body
+// lets iteration order escape (appends, outer writes, emitting calls,
+// early returns) are findings; commutative integer accumulation,
+// loop-local work, and det.SortedKeys iteration stay legal.
+package maporder
+
+import (
+	"fmt"
+	"io"
+
+	"skyloft/internal/det"
+)
+
+var global []string
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order escapes \(the body writes to "out" declared outside the loop\)`
+		out = append(out, k)
+	}
+	return out
+}
+
+func badEmit(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration order escapes \(the body calls fmt\.Fprintf for effect\)`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func badReturn(m map[string]int) string {
+	for k := range m { // want `map iteration order escapes \(the body returns mid-iteration\)`
+		return k
+	}
+	return ""
+}
+
+func badFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order escapes \(the body writes to "sum" declared outside the loop\)`
+		sum += v // float addition is not associative: order reaches the bits
+	}
+	return sum
+}
+
+func badOuterWrite(m map[int]int, hist []int) {
+	for k, v := range m { // want `map iteration order escapes \(the body writes to "hist" declared outside the loop\)`
+		hist[k%len(hist)] = v
+	}
+}
+
+func badSend(m map[string]int, ch chan string) {
+	for k := range m { // want `map iteration order escapes \(the body sends on a channel\)`
+		ch <- k
+	}
+}
+
+// suppressedDump stands in for a debug dump whose order is genuinely
+// irrelevant.
+//
+//simlint:allow maporder fixture: debug dump, order intentionally arbitrary
+func suppressedDump(m map[string]int) {
+	for k := range m {
+		global = append(global, k)
+	}
+}
+
+func legalCounts(m map[string]int) (n int, total uint64, bits uint8) {
+	for _, v := range m { // commutative integer accumulation is order-safe
+		n++
+		total += uint64(v)
+		bits |= uint8(v)
+	}
+	return
+}
+
+func legalLocal(m map[string]int) {
+	for k, v := range m {
+		s := make([]string, 0, 1) // loop-local state dies with the iteration
+		s = append(s, k)
+		buf := fmt.Sprintf("%s=%d", s[0], v)
+		_ = buf
+	}
+}
+
+func legalSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for _, k := range det.SortedKeys(m) { // the blessed pattern
+		out = append(out, k)
+	}
+	return out
+}

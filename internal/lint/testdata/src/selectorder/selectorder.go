@@ -1,0 +1,36 @@
+// Package selectorder exercises the selectorder analyzer: a select with
+// two or more channel cases is resolved pseudo-randomly by the runtime and
+// is a finding; single-case selects (with or without default) stay legal.
+package selectorder
+
+func bad(a, b chan int, stop chan struct{}) {
+	select { // want `select with 2 channel cases is resolved pseudo-randomly`
+	case <-a:
+	case <-b:
+	}
+	select { // want `select with 3 channel cases is resolved pseudo-randomly`
+	case <-a:
+	case b <- 1:
+	case <-stop:
+	default:
+	}
+}
+
+func suppressed(a, b chan int) {
+	//simlint:allow selectorder fixture: both channels carry idempotent signals
+	select {
+	case <-a:
+	case <-b:
+	}
+}
+
+func legal(a chan int) {
+	select {
+	case v := <-a:
+		_ = v
+	default:
+	}
+	select {
+	case a <- 1:
+	}
+}

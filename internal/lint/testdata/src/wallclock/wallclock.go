@@ -1,0 +1,48 @@
+// Package wallclock exercises the wallclock analyzer: wall-clock reads and
+// waits are findings, clock-free uses of package time stay legal, and both
+// directive forms (line and function doc) suppress.
+package wallclock
+
+import (
+	"time"
+
+	stdtime "time"
+)
+
+var sink any
+
+func bad() {
+	t0 := time.Now()                   // want `time\.Now reads the wall clock`
+	time.Sleep(time.Second)            // want `time\.Sleep reads the wall clock`
+	_ = time.Since(t0)                 // want `time\.Since reads the wall clock`
+	_ = time.Until(t0)                 // want `time\.Until reads the wall clock`
+	sink = time.After(time.Second)     // want `time\.After reads the wall clock`
+	sink = time.NewTimer(time.Second)  // want `time\.NewTimer reads the wall clock`
+	sink = time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+}
+
+func badAliased() {
+	_ = stdtime.Now() // want `time\.Now reads the wall clock`
+}
+
+func suppressedLine() {
+	t := time.Now() //simlint:allow wallclock fixture: host-facing progress line
+	_ = t
+}
+
+// suppressedFunc stands in for a real-runtime micro-measurement: the doc
+// directive covers every finding in the function body.
+//
+//simlint:allow wallclock fixture: measures the host runtime
+func suppressedFunc() {
+	t0 := time.Now()
+	time.Sleep(time.Millisecond)
+	_ = time.Since(t0)
+}
+
+func legal() {
+	var d time.Duration = 5 * time.Millisecond // duration arithmetic never reads the clock
+	_ = d.Seconds()
+	_ = time.Nanosecond
+	sink = time.Duration(0)
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock flags wall-clock time usage in simulation code. The entire
+// machine advances on internal/simtime's virtual clock; a single time.Now
+// or time.Sleep on a simulation path couples results to the host and breaks
+// seed-for-seed replay. Self-timing that is *about* the host (bench
+// micro-measurements, CLI progress lines) carries a //simlint:allow.
+var Wallclock = &Analyzer{
+	Name:    "wallclock",
+	Doc:     "forbid wall-clock time (time.Now, Since, Sleep, timers) in simulation packages; virtual time comes from internal/simtime",
+	InScope: moduleScope,
+	Run:     runWallclock,
+}
+
+// wallclockBanned lists the package time identifiers that read or wait on
+// the host clock. Pure-value identifiers (time.Duration, time.Nanosecond,
+// time.Date the type...) are fine: converting constants does not consult
+// the clock.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runWallclock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkgPathOfSelector(pass, sel) == "time" && wallclockBanned[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock; simulation code must use virtual time (internal/simtime)", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// pkgPathOfSelector resolves sel's qualifier to an imported package path,
+// or "" when sel is not a package-qualified reference.
+func pkgPathOfSelector(pass *Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

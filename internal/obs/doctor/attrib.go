@@ -1,8 +1,7 @@
 package doctor
 
 import (
-	"sort"
-
+	"skyloft/internal/det"
 	"skyloft/internal/obs"
 	"skyloft/internal/simtime"
 	"skyloft/internal/stats"
@@ -156,9 +155,8 @@ func attributeTails(events []trace.Event, spans *obs.SpanSet, wake *stats.Hist, 
 	}
 
 	out := make([]AppAttribution, 0, len(byApp))
-	for _, a := range byApp {
-		out = append(out, *a)
+	for _, app := range det.SortedKeys(byApp) {
+		out = append(out, *byApp[app])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
 	return out
 }

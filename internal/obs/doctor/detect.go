@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"skyloft/internal/det"
 	"skyloft/internal/obs"
 	"skyloft/internal/simtime"
 	"skyloft/internal/stats"
@@ -177,7 +178,8 @@ func detectStarvation(spans *obs.SpanSet, cfg Config) []Finding {
 		}
 	}
 	var out []Finding
-	for app, st := range byApp {
+	for _, app := range det.SortedKeys(byApp) {
+		st := byApp[app]
 		out = append(out, Finding{
 			Code:    CodeStarvation,
 			App:     app,
@@ -188,7 +190,6 @@ func detectStarvation(spans *obs.SpanSet, cfg Config) []Finding {
 				st.count, cfg.StarvationThreshold, st.worst),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
 	return out
 }
 

@@ -24,8 +24,8 @@ type TraceEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
-	S    string         `json:"s,omitempty"`    // instant scope: "t" thread
-	Cat  string         `json:"cat,omitempty"`  // event category
+	S    string         `json:"s,omitempty"`   // instant scope: "t" thread
+	Cat  string         `json:"cat,omitempty"` // event category
 	Args map[string]any `json:"args,omitempty"`
 }
 

@@ -3,8 +3,8 @@ package obs
 import (
 	"fmt"
 	"io"
-	"sort"
 
+	"skyloft/internal/det"
 	"skyloft/internal/simtime"
 	"skyloft/internal/stats"
 	"skyloft/internal/trace"
@@ -246,10 +246,9 @@ func (ss *SpanSet) PerApp() []AppSpanStats {
 		}
 	}
 	out := make([]AppSpanStats, 0, len(byApp))
-	for _, a := range byApp {
-		out = append(out, *a)
+	for _, app := range det.SortedKeys(byApp) {
+		out = append(out, *byApp[app])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
 	return out
 }
 

@@ -81,7 +81,7 @@ type Guardian struct {
 }
 
 // WRPKRUCost is the virtual-time cost of one PKRU write.
-const WRPKRUCost simtime.Duration = 10
+const WRPKRUCost simtime.Duration = 10 * simtime.Nanosecond
 
 // NewGuardian creates a guardian protecting schedKey: application code can
 // read the shared segment (scheduling info must be visible, §4.1) but not

@@ -10,7 +10,7 @@ import "testing"
 // binary-heap HeapClock so `-benchmem` shows the allocation and time delta.
 
 const (
-	benchStreams = 24                    // one tick stream per simulated core
+	benchStreams = 24                     // one tick stream per simulated core
 	benchPeriod  = Time(10 * Microsecond) // 100 kHz
 )
 
