@@ -8,7 +8,7 @@ GO ?= go
 # allocation regressions in the event core, the observability smoke, and
 # the benchmark regression gate against the committed BENCH_skyloft.json.
 .PHONY: check
-check: vet build lint race bench-smoke trace-smoke bench-gate
+check: vet build lint race bench-smoke trace-smoke bench-gate chaos
 
 .PHONY: vet
 vet:
@@ -83,3 +83,14 @@ bench-gate:
 	@tmp=$$(mktemp -d) && trap 'rm -rf $$tmp' EXIT && \
 	$(GO) run ./cmd/skyloft-bench -report-only -quick -seed 1 -report-out $$tmp/candidate.json && \
 	$(GO) run ./cmd/benchdiff BENCH_skyloft.json $$tmp/candidate.json
+
+# Chaos gate (DESIGN.md §10): run every fault-plan preset twice plus a clean
+# twin — deterministic replay, zero invariant violations, hardening
+# demonstrably engaged, bounded p99.9 degradation — then validate the
+# exported Perfetto trace carries fault instants on the CPU tracks.
+.PHONY: chaos
+chaos:
+	@tmp=$$(mktemp -d) && trap 'rm -rf $$tmp' EXIT && \
+	$(GO) run ./cmd/skyloft-bench -chaos all -seed 1 -chaos-trace-out $$tmp/chaos.json && \
+	$(GO) run ./cmd/tracecheck -cpus 4 -faults 1 $$tmp/chaos.json && \
+	echo "chaos OK"

@@ -31,6 +31,73 @@ import (
 	"skyloft/internal/simtime"
 )
 
+// runChaos executes the chaos gate (plan = a preset name, or "all") and
+// prints the per-plan report: injection counts, the hardening layer's
+// recovery counters, invariant-checker verdicts, and tail degradation vs
+// the clean twin. traceOut, when set, additionally writes one chaos run's
+// Perfetto export (fault instants on the CPU tracks) for cmd/tracecheck.
+// Exits non-zero on any gate failure.
+func runChaos(plan string, seed uint64, traceOut string) {
+	var names []string
+	if plan != "all" {
+		names = []string{plan}
+	}
+	results, failures := bench.ChaosGate(seed, 0, names)
+
+	fmt.Printf("chaos gate: seed %d, %v per run (each plan run twice + clean twin)\n\n", seed, bench.ChaosDuration)
+	fmt.Printf("%-15s %-24s %9s %8s %8s %8s %10s %10s %7s %6s\n",
+		"plan", "mode", "injected", "wd-rec", "rescans", "retries", "p99.9", "clean", "ratio", "viol")
+	for _, r := range results {
+		fmt.Printf("%-15s %-24s %9d %8d %8d %8d %9.1fµ %9.1fµ %6.2fx %6d\n",
+			r.Plan, r.Mode, r.Injected.Total(),
+			r.Recovery.WatchdogRecoveries, r.Recovery.Rescans, r.Recovery.IPIRetries,
+			r.WakeP999Us, r.CleanP999Us, r.P999Ratio, r.Violations)
+	}
+	fmt.Println()
+	for _, r := range results {
+		fmt.Printf("%s: %d invariant checks; drops ipi=%d uintr-suppressed=%d timer-miss=%d; "+
+			"uintr dropped=%d, irqs coalesced=%d\n",
+			r.Plan, r.Checks, r.Injected.IPIsDropped, r.Injected.Suppressed,
+			r.Injected.TimerMisses, r.UINTRDropped, r.IRQsCoalesced)
+	}
+
+	if traceOut != "" && len(results) > 0 {
+		// Export the per-CPU plan with the richest fault instants when it
+		// ran (straggler-core), else whatever ran last.
+		exp := results[len(results)-1]
+		for _, r := range results {
+			if r.Plan == "straggler-core" {
+				exp = r
+			}
+		}
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = obs.WritePerfetto(f, exp.RawEvents, obs.ExportConfig{
+			NumCPUs: exp.Workers, AppNames: exp.AppNames, Instants: true,
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%s chaos run, %d events)\n", traceOut, exp.Plan, len(exp.RawEvents))
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nchaos gate FAILED (%d):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nchaos gate OK: %d plans, deterministic replay, zero invariant violations\n", len(results))
+}
+
 // emitReport builds the machine-readable benchmark report and writes it to
 // path ("-" = stdout).
 func emitReport(path string, seed uint64, quick bool) {
@@ -61,9 +128,16 @@ func main() {
 	par := flag.Int("par", 0, "max parallel trials (0 = GOMAXPROCS, 1 = serial)")
 	reportOut := flag.String("report-out", "", "write the machine-readable benchmark report as JSON (\"-\" for stdout)")
 	reportOnly := flag.Bool("report-only", false, "emit only the -report-out JSON, skip the printed tables")
+	chaos := flag.String("chaos", "", "run the chaos gate for a fault-plan preset (or \"all\") instead of the benchmark sweep")
+	chaosTraceOut := flag.String("chaos-trace-out", "", "with -chaos: write one chaos run's Perfetto trace_event JSON here")
 	of := obs.BindFlags()
 	flag.Parse()
 	bench.SetSweepWorkers(*par)
+
+	if *chaos != "" {
+		runChaos(*chaos, *seed, *chaosTraceOut)
+		return
+	}
 
 	if *reportOnly {
 		if *reportOut == "" {
@@ -119,6 +193,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Delivery-substrate health: §3.2 losses (notifications that found an
+	// empty PIR) and interrupt edges absorbed by vector coalescing.
+	substrate := map[string]uint64{}
+	for _, s := range run.Registry.Snapshot() {
+		substrate[s.Name] = uint64(s.Value)
+	}
+	fmt.Printf("delivery: uintr delivered=%d dropped=%d rescans=%d, irqs coalesced=%d\n",
+		substrate["uintr.delivered"], substrate["uintr.dropped"],
+		substrate["uintr.rescans"], substrate["hw.irqs.coalesced"])
 	if of.DoctorOut != "" {
 		diag := doctor.Analyze(run.Events, run.Spans, doctor.Config{
 			TickPeriod: simtime.Second / bench.SkyloftTimerHz,

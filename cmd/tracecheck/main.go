@@ -1,12 +1,14 @@
 // Command tracecheck validates a Perfetto/Chrome trace_event JSON file
 // produced by the observability layer: the document must parse, carry a
 // named track plus at least one complete-duration ("ph":"X") slice for every
-// expected CPU, and every slice must have a non-negative duration. It is the
-// machine half of `make trace-smoke`.
+// expected CPU, and every slice must have a non-negative duration. With
+// -faults N it additionally requires N validated fault-instant events on
+// the CPU tracks (chaos exports). It is the machine half of
+// `make trace-smoke` and `make chaos`.
 //
 // Usage:
 //
-//	tracecheck -cpus 2 trace.json
+//	tracecheck -cpus 2 [-faults 1] trace.json
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 
 func main() {
 	cpus := flag.Int("cpus", 0, "expected number of per-CPU tracks")
+	faults := flag.Int("faults", 0, "minimum fault instant events (chaos traces)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracecheck -cpus N trace.json")
@@ -26,9 +29,9 @@ func main() {
 	}
 	path := flag.Arg(0)
 
-	if err := obs.CheckTraceFile(path, *cpus); err != nil {
+	if err := obs.CheckTraceFile(path, *cpus, *faults); err != nil {
 		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	fmt.Printf("tracecheck: %s OK (%d per-CPU tracks)\n", path, *cpus)
+	fmt.Printf("tracecheck: %s OK (%d per-CPU tracks, >=%d fault instants)\n", path, *cpus, *faults)
 }

@@ -132,6 +132,24 @@ func BuildReport(seed uint64, quick bool) *BenchReport {
 	}
 	r.Metrics["micro.inter_app_switch_ns"] = float64(InterAppSwitch())
 
+	// Chaos sentinel: one preset plan per delivery path attacked, at the
+	// gate seed. Pins that fault injection still fires, the hardening layer
+	// still engages, and no plan has started violating invariants — without
+	// paying for the full four-plan replayed `make chaos` gate here.
+	for _, name := range []string{"ipi-drop", "straggler-core"} {
+		res, err := RunChaos(name, seed, 0)
+		if err != nil {
+			// Reports never existed without the presets; surface loudly.
+			panic(fmt.Sprintf("bench: chaos sentinel %s: %v", name, err))
+		}
+		p := "chaos." + name
+		r.Metrics[p+".injected"] = float64(res.Injected.Total())
+		r.Metrics[p+".recoveries"] = float64(res.Recovery.WatchdogRecoveries +
+			res.Recovery.Rescans + res.Recovery.IPIRetries)
+		r.Metrics[p+".invariant_violations"] = float64(res.Violations)
+		r.Metrics[p+".p999_ratio"] = res.P999Ratio
+	}
+
 	return r
 }
 

@@ -83,6 +83,7 @@ func (e *Engine) idleWorker() *coreCtx {
 
 // assign hands task t to worker w and schedules the quantum check.
 func (e *Engine) assign(w *coreCtx, t *sched.Thread) {
+	w.markProgress(e.m.Now())
 	e.qDown()
 	w.idle = false
 	w.assignSeq++
@@ -127,9 +128,12 @@ func (e *Engine) sendPreempt(w *coreCtx) {
 			w.dispUITT = e.special.send.Connect(w.recv.UPID(), PreemptUserVector)
 		}
 		e.special.send.SendUIPI(w.dispUITT)
-		return
+	} else {
+		e.m.SendIPI(e.special.hwc.ID, w.hwc.ID, legacyPreemptVector, mech.Deliver, nil)
 	}
-	e.m.SendIPI(e.special.hwc.ID, w.hwc.ID, legacyPreemptVector, mech.Deliver, nil)
+	if e.hardenOn {
+		e.armPreemptRetry(w, w.preemptAim, e.harden.RetryTimeout, e.harden.RetryMax)
+	}
 }
 
 // onPreemptIRQ handles a UINTR preemption on a worker (vector 61).

@@ -110,6 +110,10 @@ type Config struct {
 	Trace     *trace.Ring
 	CoreAlloc *CoreAllocConfig
 	Seed      uint64
+	// Hardening, when non-nil, enables the fault-tolerance layer: the
+	// per-core watchdog, UINTR notification rescans, and preemption-IPI
+	// retry-with-backoff (harden.go). Nil adds no events to a run.
+	Hardening *HardeningConfig
 }
 
 // App is one application scheduled by Skyloft.
@@ -172,6 +176,11 @@ type Engine struct {
 	// tracking is always on without perturbing behaviour.
 	runqDepth     int64
 	runqHighWater int64
+
+	// hardening state (harden.go)
+	hardenOn    bool
+	harden      HardeningConfig
+	hardenStats HardeningStats
 
 	// centralized-mode state (central.go)
 	dispatchArmed bool
@@ -334,6 +343,10 @@ type coreCtx struct {
 	beMode     bool   // core currently granted to a best-effort app
 	dispUITT   int    // dispatcher's UITT index for this worker (-1 = none yet)
 
+	// lastProgress is the watchdog's silence detector: stamped on every
+	// dispatch, IRQ and scheduling-loop pass (plain field write, always on).
+	lastProgress simtime.Time
+
 	// Reusable continuations for the per-tick hot path. At most one of each
 	// is in flight per core (interrupts stay masked until the continuation's
 	// UIRet; kick is guarded by the idle flag), so the arguments ride in
@@ -463,6 +476,11 @@ func New(cfg Config) *Engine {
 	}
 	if e.mode == Centralized && cfg.CoreAlloc != nil {
 		e.startCoreAllocator()
+	}
+	if cfg.Hardening != nil {
+		e.hardenOn = true
+		e.harden = cfg.Hardening.withDefaults()
+		e.startWatchdog()
 	}
 	return e
 }
@@ -704,6 +722,7 @@ func (e *Engine) kick(c *coreCtx) {
 
 // scheduleNext runs the main scheduling loop once on core c.
 func (e *Engine) scheduleNext(c *coreCtx) {
+	c.markProgress(e.m.Now())
 	if e.mode == Centralized {
 		e.workerBecameIdle(c)
 		return
@@ -766,6 +785,7 @@ func (e *Engine) appSwitch(c *coreCtx, app int) simtime.Duration {
 
 // dispatch resumes t's pending activity on c.
 func (e *Engine) dispatch(c *coreCtx, t *sched.Thread) {
+	c.markProgress(e.m.Now())
 	if t.Remaining > 0 {
 		if e.cfg.TimerMode == TimerDeadline {
 			// Program the next preemption deadline from user space — a
@@ -827,6 +847,7 @@ func (e *Engine) ExternalWake(t *sched.Thread) { e.wake(nil, t) }
 // onUserIRQ is the global user-interrupt handler (Listing 1): vector 62 is
 // a delegated timer tick, vector 61 a dispatcher preemption.
 func (e *Engine) onUserIRQ(c *coreCtx, vec uint8, ranFor simtime.Duration) {
+	c.markProgress(e.m.Now())
 	switch vec {
 	case uintrsim.TimerUserVector:
 		e.onTick(c, ranFor)
@@ -915,6 +936,7 @@ func (e *Engine) tickResume(c *coreCtx) {
 // onLegacyIRQ handles non-UINTR preemption vectors (kernel IPI / signal
 // mechanisms used by baseline profiles).
 func (e *Engine) onLegacyIRQ(c *coreCtx, irq hw.IRQ) {
+	c.markProgress(e.m.Now())
 	if irq.Vector != legacyPreemptVector {
 		c.hwc.EndIRQ()
 		return

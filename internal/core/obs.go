@@ -42,6 +42,15 @@ func (e *Engine) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("uintr.delivered", sumRecv(func(c *coreCtx) uint64 { return c.recv.Delivered() }))
 	r.CounterFunc("uintr.dropped", sumRecv(func(c *coreCtx) uint64 { return c.recv.Dropped() }))
 	r.CounterFunc("uintr.uiret", sumRecv(func(c *coreCtx) uint64 { return c.recv.UIRets() }))
+	r.CounterFunc("uintr.rescans", sumRecv(func(c *coreCtx) uint64 { return c.recv.Rescans() }))
+
+	// Hardening recovery counters exist only when the layer is enabled, so
+	// clean-run metric snapshots keep their exact pre-hardening key set.
+	if e.hardenOn {
+		r.CounterFunc("harden.watchdog.recoveries", func() uint64 { return e.hardenStats.WatchdogRecoveries })
+		r.CounterFunc("harden.rescans", func() uint64 { return e.hardenStats.Rescans })
+		r.CounterFunc("harden.ipi.retries", func() uint64 { return e.hardenStats.IPIRetries })
+	}
 
 	e.m.RegisterMetrics(r)
 }

@@ -1,0 +1,130 @@
+// Package faults is the deterministic fault-injection layer: a seeded
+// chaos mode for the delivery substrate the schedulers stand on. A Plan
+// declares what misbehaves — dropped/delayed/duplicated IPIs, LAPIC timer
+// drift and missed fires, straggler cores, UINTR notification suppression
+// — and an Injector wires it into hw.FaultHooks so every perturbation is a
+// pure function of the plan's seed and the event history. Same plan + same
+// seed ⇒ bit-identical replay, which is what lets `make chaos` gate on
+// trace hashes.
+//
+// The package also provides the InvariantChecker: an after-every-event
+// auditor (via simtime.Clock.SetObserver) asserting that no runnable task
+// is lost, no core is double-granted, and work conservation holds within
+// the watchdog budget — the properties the hardened scheduler must keep
+// even while the substrate misbehaves. See DESIGN.md §10.
+package faults
+
+import (
+	"fmt"
+
+	"skyloft/internal/simtime"
+)
+
+// Kind classifies one fault rule.
+type Kind uint8
+
+const (
+	// IPIDrop swallows a physical IPI on the wire.
+	IPIDrop Kind = iota
+	// IPIDelay inflates a physical IPI's flight time by Delay.
+	IPIDelay
+	// IPIDup delivers a physical IPI twice.
+	IPIDup
+	// TimerMiss skips a LAPIC timer fire (periodic timers still rearm;
+	// one-shot deadlines are simply lost).
+	TimerMiss
+	// TimerDrift offsets the next periodic rearm by ±Delay.
+	TimerDrift
+	// UINTRSuppress loses a UINTR notification: the vector stays posted in
+	// the PIR with ON clear — the paper's §3.2 trap, recoverable only by a
+	// later send or a software rescan.
+	UINTRSuppress
+	// CoreStall makes a core a straggler: Exec/StartRun occupancy takes
+	// Factor× wall time inside the [From, Until) window.
+	CoreStall
+)
+
+func (k Kind) String() string {
+	switch k {
+	case IPIDrop:
+		return "ipi-drop"
+	case IPIDelay:
+		return "ipi-delay"
+	case IPIDup:
+		return "ipi-dup"
+	case TimerMiss:
+		return "timer-miss"
+	case TimerDrift:
+		return "timer-drift"
+	case UINTRSuppress:
+		return "uintr-suppress"
+	case CoreStall:
+		return "core-stall"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Rule is one fault clause: inject Kind on Core (−1 = every core) inside
+// the virtual-time window [From, Until) (Until 0 = forever), with the
+// given per-opportunity Rate. Delay parameterises IPIDelay and TimerDrift;
+// Factor parameterises CoreStall (which ignores Rate — the window itself
+// is the fault).
+type Rule struct {
+	Kind   Kind
+	Core   int
+	From   simtime.Time
+	Until  simtime.Time
+	Rate   float64
+	Delay  simtime.Duration
+	Factor int64
+}
+
+// active reports whether the rule applies to core at time now.
+func (r *Rule) active(core int, now simtime.Time) bool {
+	if r.Core >= 0 && r.Core != core {
+		return false
+	}
+	if now < r.From {
+		return false
+	}
+	if r.Until > 0 && now >= r.Until {
+		return false
+	}
+	return true
+}
+
+// Plan is a named, seeded fault scenario.
+type Plan struct {
+	Name  string
+	Seed  uint64
+	Rules []Rule
+}
+
+// Validate rejects malformed plans before they silently do nothing.
+func (p *Plan) Validate() error {
+	if len(p.Rules) == 0 {
+		return fmt.Errorf("faults: plan %q has no rules", p.Name)
+	}
+	for i, r := range p.Rules {
+		if r.Rate < 0 || r.Rate > 1 {
+			return fmt.Errorf("faults: plan %q rule %d: rate %v outside [0,1]", p.Name, i, r.Rate)
+		}
+		if r.Until > 0 && r.Until <= r.From {
+			return fmt.Errorf("faults: plan %q rule %d: empty window [%v,%v)", p.Name, i, r.From, r.Until)
+		}
+		switch r.Kind {
+		case IPIDelay, TimerDrift:
+			if r.Delay <= 0 {
+				return fmt.Errorf("faults: plan %q rule %d: %v needs Delay > 0", p.Name, i, r.Kind)
+			}
+		case CoreStall:
+			if r.Factor < 2 {
+				return fmt.Errorf("faults: plan %q rule %d: CoreStall needs Factor >= 2", p.Name, i)
+			}
+			if r.Until == 0 {
+				return fmt.Errorf("faults: plan %q rule %d: CoreStall needs a bounded window", p.Name, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package faults
+
+import (
+	"fmt"
+
+	"skyloft/internal/simtime"
+)
+
+// SchedState is the scheduler-side view the InvariantChecker audits.
+// core.Engine implements it with read-only accessors over state it
+// maintains anyway.
+type SchedState interface {
+	Now() simtime.Time
+	// RunqDepth is the engine's runnable-queue accounting: tasks enqueued
+	// anywhere but not yet given a core.
+	RunqDepth() int64
+	// RunnableThreads counts live threads currently in the Runnable state.
+	RunnableThreads() int
+	// NumWorkers reports the worker-core count.
+	NumWorkers() int
+	// WorkerSnapshot reports worker i's instantaneous state: whether it is
+	// idle and the ID of the task it currently owns (0 = none).
+	WorkerSnapshot(i int) (idle bool, task int)
+}
+
+// maxViolations bounds the retained violation messages; the count keeps
+// incrementing past it.
+const maxViolations = 16
+
+// InvariantChecker asserts scheduler integrity after every dispatched
+// event (install Check as the clock observer). It verifies:
+//
+//  1. no runnable task is lost: every thread in the Runnable state is
+//     accounted in a runqueue (RunnableThreads == RunqDepth — the engine
+//     transitions state and queue membership atomically within a single
+//     event callback, so any divergence at an event boundary is a leak);
+//  2. no core is double-granted: a task owns at most one worker, and an
+//     idle worker owns no task;
+//  3. work conservation within Budget: a worker sitting idle while the
+//     runqueue is non-empty is tolerated only for the watchdog budget —
+//     longer means recovery failed and the core is wedged.
+//
+// The checker only reads; it never schedules events or mutates state, so
+// attaching it leaves the run bit-identical (the nil-plan perturbation
+// test pins this).
+type InvariantChecker struct {
+	s      SchedState
+	Budget simtime.Duration
+
+	checks     uint64
+	count      uint64
+	violations []string
+
+	owners []int // scratch: task ID owned by each worker
+
+	idleOpen     bool
+	idleSince    simtime.Time
+	idleReported bool
+}
+
+// DefaultBudget is the work-conservation grace window when none is given:
+// generous against transient idleness during assignment handoffs, tight
+// enough that a wedged core is caught within one watchdog sweep or two.
+const DefaultBudget = 200 * simtime.Microsecond
+
+// NewChecker builds a checker over s. budget <= 0 uses DefaultBudget.
+func NewChecker(s SchedState, budget simtime.Duration) *InvariantChecker {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &InvariantChecker{s: s, Budget: budget, owners: make([]int, s.NumWorkers())}
+}
+
+// Checks reports how many times Check has run.
+func (ic *InvariantChecker) Checks() uint64 { return ic.checks }
+
+// Count reports total violations observed (including ones past the
+// retained-message cap).
+func (ic *InvariantChecker) Count() uint64 { return ic.count }
+
+// Violations reports the retained violation messages (at most
+// maxViolations; Count has the true total).
+func (ic *InvariantChecker) Violations() []string { return ic.violations }
+
+func (ic *InvariantChecker) violate(format string, args ...any) {
+	ic.count++
+	if len(ic.violations) < maxViolations {
+		ic.violations = append(ic.violations,
+			fmt.Sprintf("t=%v: ", ic.s.Now())+fmt.Sprintf(format, args...))
+	}
+}
+
+// Check audits the scheduler once. Install it as the clock observer so it
+// runs after every dispatched event.
+func (ic *InvariantChecker) Check() {
+	ic.checks++
+	now := ic.s.Now()
+
+	// 1. Runnable accounting.
+	q := ic.s.RunqDepth()
+	if q < 0 {
+		ic.violate("runq depth negative: %d", q)
+	}
+	if r := ic.s.RunnableThreads(); int64(r) != q {
+		ic.violate("runnable-task leak: %d threads Runnable but runq depth %d", r, q)
+	}
+
+	// 2. Grant uniqueness.
+	n := ic.s.NumWorkers()
+	anyIdle := false
+	for i := 0; i < n; i++ {
+		idle, task := ic.s.WorkerSnapshot(i)
+		ic.owners[i] = task
+		if idle {
+			anyIdle = true
+			if task != 0 {
+				ic.violate("worker %d idle while owning task %d", i, task)
+			}
+		}
+		if task == 0 {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			if ic.owners[j] == task {
+				ic.violate("task %d double-granted to workers %d and %d", task, j, i)
+			}
+		}
+	}
+
+	// 3. Work conservation within the budget.
+	if anyIdle && q > 0 {
+		if !ic.idleOpen {
+			ic.idleOpen = true
+			ic.idleSince = now
+			ic.idleReported = false
+		} else if !ic.idleReported && now-ic.idleSince > ic.Budget {
+			ic.idleReported = true
+			ic.violate("work-conservation breach: idle worker with %d queued tasks for %v (budget %v)",
+				q, now-ic.idleSince, ic.Budget)
+		}
+	} else {
+		ic.idleOpen = false
+	}
+}

@@ -54,10 +54,45 @@ type Machine struct {
 	Cores []*Core
 	Cost  cycles.Model
 
+	// Hooks lets a fault-injection layer perturb the delivery substrate.
+	// Nil (the default) is the zero-overhead happy path: no branch beyond a
+	// nil check runs, so clean-run traces stay bit-identical.
+	Hooks *FaultHooks
+
 	coresPerSocket int
 	ipisSent       uint64
 	irqsCoalesced  uint64     // interrupt edges absorbed by a pending vector
 	ipiFree        *ipiFlight // recycled in-flight IPI records
+}
+
+// IPIVerdict is a fault hook's decision about one IPI send.
+type IPIVerdict struct {
+	Drop  bool             // swallow the IPI: it never reaches the wire
+	Extra simtime.Duration // additional flight time (late delivery)
+	Dup   int              // extra duplicate deliveries after the original
+}
+
+// TimerVerdict is a fault hook's decision about one LAPIC timer expiry.
+type TimerVerdict struct {
+	Miss  bool             // skip this fire (periodic timers still rearm)
+	Drift simtime.Duration // offset applied to the next periodic rearm
+}
+
+// FaultHooks are consulted, when installed, at each fault-injectable point
+// in the delivery substrate. All three are optional. Implementations must
+// be deterministic functions of their own seeded state — they run inside
+// the event loop and become part of the replayed history.
+type FaultHooks struct {
+	// IPI is consulted by Machine.SendIPI before the flight is scheduled.
+	IPI func(from, to int, vec uint8) IPIVerdict
+	// Timer is consulted by LAPICTimer at each expiry (periodic and
+	// one-shot) before the interrupt is raised.
+	Timer func(core int) TimerVerdict
+	// UIPI is consulted by the UINTR sender path (uintrsim) before a user
+	// interrupt notification is posted; true suppresses the notification
+	// as if the receiver's SN bit were set, leaving PIR bits posted but
+	// undelivered — the paper's §3.2 recovery trap.
+	UIPI func(to int, vec uint8) bool
 }
 
 // ipiFlight is one IPI on the wire: a pooled record whose bound deliver
@@ -147,6 +182,21 @@ func (m *Machine) SendIPI(from, to int, vec uint8, delay simtime.Duration, data 
 		panic(fmt.Sprintf("hw: IPI to invalid core %d", to))
 	}
 	m.ipisSent++
+	if h := m.Hooks; h != nil && h.IPI != nil {
+		v := h.IPI(from, to, vec)
+		if v.Drop {
+			return // swallowed on the wire; the sender already paid send cost
+		}
+		delay += v.Extra
+		for i := 0; i < v.Dup; i++ {
+			m.queueIPI(from, to, vec, delay, data)
+		}
+	}
+	m.queueIPI(from, to, vec, delay, data)
+}
+
+// queueIPI puts one IPI on the wire using the pooled flight records.
+func (m *Machine) queueIPI(from, to int, vec uint8, delay simtime.Duration, data any) {
 	f := m.ipiFree
 	if f != nil {
 		m.ipiFree = f.next
@@ -167,6 +217,7 @@ type Core struct {
 	m         *Machine
 	busyUntil simtime.Time
 	running   bool
+	stall     int64 // wall-time multiplier for occupancy; <=1 means normal
 	run       runState
 
 	handler     func(IRQ)
@@ -181,10 +232,15 @@ type Core struct {
 }
 
 // runState is the core's single in-flight application segment; one per core,
-// embedded to avoid a per-StartRun allocation.
+// embedded to avoid a per-StartRun allocation. duration is wall time on a
+// stalled core; work is the logical amount requested, and scale converts
+// between the two (captured at StartRun so a stall window ending mid-segment
+// does not retroactively speed the segment up).
 type runState struct {
 	started  simtime.Time
-	duration simtime.Duration
+	duration simtime.Duration // wall time: work * scale
+	work     simtime.Duration
+	scale    int64
 	done     simtime.Event
 	onDone   func()
 }
@@ -199,6 +255,26 @@ func (c *Core) SetIRQHandler(h func(IRQ)) { c.handler = h }
 
 // BusyTime reports the cumulative occupied (non-idle) time on this core.
 func (c *Core) BusyTime() simtime.Duration { return c.busyAccum }
+
+// SetStall sets the core's straggler factor: all subsequent Exec and
+// StartRun occupancy takes factor× the wall time (factor <= 1 restores
+// normal speed). Segments already in flight keep the factor they started
+// with. This models a transiently slow core — SMI storms, thermal
+// throttling, a noisy hypervisor neighbour — for fault injection.
+func (c *Core) SetStall(factor int64) {
+	if factor < 1 {
+		factor = 1
+	}
+	c.stall = factor
+}
+
+// Stall reports the current straggler factor (1 = normal speed).
+func (c *Core) Stall() int64 {
+	if c.stall < 1 {
+		return 1
+	}
+	return c.stall
+}
 
 // free reports the earliest instant the core can begin new occupancy.
 func (c *Core) free() simtime.Time {
@@ -220,6 +296,9 @@ func (c *Core) Exec(cost simtime.Duration, fn func()) {
 	if cost < 0 {
 		panic("hw: negative Exec cost")
 	}
+	if c.stall > 1 {
+		cost *= simtime.Duration(c.stall)
+	}
 	start := c.free()
 	c.busyUntil = start + cost
 	c.busyAccum += cost
@@ -239,11 +318,13 @@ func (c *Core) StartRun(d simtime.Duration, onDone func()) {
 	if d < 0 {
 		panic("hw: negative run duration")
 	}
+	scale := c.Stall()
+	wall := d * simtime.Duration(scale)
 	start := c.free()
-	c.run = runState{started: start, duration: d, onDone: onDone}
-	c.run.done = c.m.Clock.At(start+d, c.runDoneFn)
+	c.run = runState{started: start, duration: wall, work: d, scale: scale, onDone: onDone}
+	c.run.done = c.m.Clock.At(start+wall, c.runDoneFn)
 	c.running = true
-	c.busyUntil = start + d
+	c.busyUntil = start + wall
 }
 
 func (c *Core) runDone() {
@@ -258,7 +339,9 @@ func (c *Core) runDone() {
 func (c *Core) Running() bool { return c.running }
 
 // StopRun cancels the active segment and reports how much of its work had
-// completed by now. It panics if no segment is active.
+// completed by now (in work units: on a stalled core, wall time is divided
+// by the straggler factor, so accounting stays in the task's own currency).
+// It panics if no segment is active.
 func (c *Core) StopRun() simtime.Duration {
 	if !c.running {
 		panic(fmt.Sprintf("hw: core %d StopRun with no active run", c.ID))
@@ -280,7 +363,14 @@ func (c *Core) StopRun() simtime.Duration {
 	// never-started segment the pre-existing occupancy (up to rs.started)
 	// still stands.
 	c.busyUntil = rs.started + elapsed
-	return elapsed
+	work := elapsed
+	if rs.scale > 1 {
+		work = elapsed / simtime.Duration(rs.scale)
+		if work > rs.work {
+			work = rs.work
+		}
+	}
+	return work
 }
 
 // Interrupt queues irq for delivery on this core. Interrupts with the same
@@ -396,6 +486,9 @@ func (t *LAPICTimer) ArmOneShot(d simtime.Duration, vector uint8) {
 			}
 			t.enabled = false
 			t.next = simtime.Event{}
+			if h := t.core.m.Hooks; h != nil && h.Timer != nil && h.Timer(t.core.ID).Miss {
+				return // deadline expiry lost; software must notice and rearm
+			}
 			t.fires++
 			t.core.Interrupt(IRQ{Vector: t.vector, From: TimerSource})
 		}
@@ -428,9 +521,21 @@ func (t *LAPICTimer) arm() {
 			if !t.enabled {
 				return
 			}
-			t.fires++
-			t.core.Interrupt(IRQ{Vector: t.vector, From: TimerSource})
-			t.arm()
+			rearm := t.period
+			miss := false
+			if h := t.core.m.Hooks; h != nil && h.Timer != nil {
+				v := h.Timer(t.core.ID)
+				miss = v.Miss
+				rearm += v.Drift
+				if rearm <= 0 {
+					rearm = 1 // a drifted period still moves time forward
+				}
+			}
+			if !miss {
+				t.fires++
+				t.core.Interrupt(IRQ{Vector: t.vector, From: TimerSource})
+			}
+			t.next = t.core.m.Clock.After(rearm, t.fireFn)
 		}
 	}
 	t.next = t.core.m.Clock.After(t.period, t.fireFn)

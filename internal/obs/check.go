@@ -39,9 +39,40 @@ func CheckTrace(tf *TraceFile, cpus int) error {
 	return nil
 }
 
+// CheckFaultInstants verifies a chaos-run export: at least min instant
+// events with category "fault" must be present, and each must be a named,
+// thread-scoped instant pinned to a non-negative CPU track — the contract
+// that lets a Perfetto view correlate tail slices with fault onset.
+func CheckFaultInstants(tf *TraceFile, min int) error {
+	found := 0
+	for i, e := range tf.TraceEvents {
+		if e.Cat != "fault" {
+			continue
+		}
+		if e.Ph != "i" {
+			return fmt.Errorf("event %d: fault event with ph %q, want instant", i, e.Ph)
+		}
+		if e.S != "t" {
+			return fmt.Errorf("event %d: fault instant not thread-scoped (s=%q)", i, e.S)
+		}
+		if e.Tid < 0 {
+			return fmt.Errorf("event %d: fault instant on negative track %d", i, e.Tid)
+		}
+		if e.Name == "" {
+			return fmt.Errorf("event %d: fault instant without a name", i)
+		}
+		found++
+	}
+	if found < min {
+		return fmt.Errorf("%d fault instants, want >= %d", found, min)
+	}
+	return nil
+}
+
 // CheckTraceFile parses path as trace_event JSON and runs CheckTrace — the
-// round-trip guard used by `make trace-smoke`.
-func CheckTraceFile(path string, cpus int) error {
+// round-trip guard used by `make trace-smoke`. minFaults > 0 additionally
+// requires that many validated fault instants (`make chaos`).
+func CheckTraceFile(path string, cpus, minFaults int) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -50,5 +81,11 @@ func CheckTraceFile(path string, cpus int) error {
 	if err := json.Unmarshal(data, &tf); err != nil {
 		return fmt.Errorf("not valid trace_event JSON: %w", err)
 	}
-	return CheckTrace(&tf, cpus)
+	if err := CheckTrace(&tf, cpus); err != nil {
+		return err
+	}
+	if minFaults > 0 {
+		return CheckFaultInstants(&tf, minFaults)
+	}
+	return nil
 }

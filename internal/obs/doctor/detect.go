@@ -24,6 +24,10 @@ const (
 	// CodeTickBound: the wakeup-latency distribution clusters at a
 	// millisecond-scale period — the Fig. 5 Linux CONFIG_HZ signature.
 	CodeTickBound = "tick-bound"
+	// CodeFaultCorrelated: the run contains injected faults (chaos mode)
+	// and the worst wakeup-latency window coincides with them — the tail is
+	// chaos-made, not a scheduler defect. Never fires on clean runs.
+	CodeFaultCorrelated = "fault-correlated"
 )
 
 // Finding is one structured pathology report: what, where, since when, how
@@ -45,7 +49,7 @@ type Finding struct {
 
 // detect runs every pathology detector and returns the findings in a
 // deterministic order (code, then app).
-func detect(events []trace.Event, spans *obs.SpanSet, wake *stats.Hist, cfg Config) []Finding {
+func detect(events []trace.Event, spans *obs.SpanSet, wake *stats.Hist, windows []WindowStats, cfg Config) []Finding {
 	var out []Finding
 	if f, ok := detectWorkConservation(events, cfg); ok {
 		out = append(out, f)
@@ -55,6 +59,9 @@ func detect(events []trace.Event, spans *obs.SpanSet, wake *stats.Hist, cfg Conf
 		out = append(out, f)
 	}
 	if f, ok := TickBound(wake); ok {
+		out = append(out, f)
+	}
+	if f, ok := detectFaultCorrelation(events, windows); ok {
 		out = append(out, f)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -258,6 +265,57 @@ func detectImbalance(events []trace.Event, cfg Config) (Finding, bool) {
 		Value:   spread,
 		Evidence: fmt.Sprintf("busy-share spread %.2f: cpu %d at %.0f%% vs cpu %d at %.0f%% (mean %.0f%%)",
 			spread, argMax, 100*maxShare, argMin, 100*minShare, 100*meanShare),
+	}, true
+}
+
+// detectFaultCorrelation attributes tail windows to chaos: when the run
+// contains injected-fault events, it locates the window with the worst
+// wakeup p99 and reports whether faults were active in it (or the window
+// immediately before — fault impact lags onset by queueing). Runs without
+// Inject events produce no finding, so clean-run reports are unchanged by
+// the detector's existence.
+func detectFaultCorrelation(events []trace.Event, windows []WindowStats) (Finding, bool) {
+	var total uint64
+	var firstAt simtime.Time
+	for _, ev := range events {
+		if ev.Kind == trace.Inject {
+			if total == 0 {
+				firstAt = ev.At
+			}
+			total++
+		}
+	}
+	if total == 0 || len(windows) == 0 {
+		return Finding{}, false
+	}
+	worst := -1
+	for i := range windows {
+		if windows[i].WakeSamples == 0 {
+			continue
+		}
+		if worst < 0 || windows[i].WakeP99 > windows[worst].WakeP99 {
+			worst = i
+		}
+	}
+	if worst < 0 {
+		return Finding{}, false
+	}
+	near := windows[worst].Injects
+	if worst > 0 {
+		near += windows[worst-1].Injects
+	}
+	if near == 0 {
+		return Finding{}, false
+	}
+	ws := windows[worst]
+	return Finding{
+		Code:    CodeFaultCorrelated,
+		App:     -1,
+		FirstAt: firstAt,
+		Count:   total,
+		Value:   float64(near),
+		Evidence: fmt.Sprintf("worst wake-p99 window [%v, %v) (p99 %v) had %d injected faults in or just before it; %d injected over the whole run",
+			ws.Start, ws.End, ws.WakeP99, near, total),
 	}, true
 }
 

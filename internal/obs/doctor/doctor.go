@@ -137,7 +137,7 @@ func Analyze(events []trace.Event, spans *obs.SpanSet, cfg Config) *Report {
 		Windows:    windows,
 	}
 	r.Attribution = attributeTails(events, spans, wake, cfg)
-	r.Findings = detect(events, spans, wake, cfg)
+	r.Findings = detect(events, spans, wake, windows, cfg)
 	return r
 }
 

@@ -37,6 +37,11 @@ type WindowStats struct {
 	Wakes      uint64 `json:"wakes"`
 	Preempts   uint64 `json:"preempts"`
 	Steals     uint64 `json:"steals"`
+
+	// Injects counts fault-injection events (chaos mode) that landed in
+	// the window — zero outside chaos runs. The fault-correlated detector
+	// uses it to attribute tail windows to fault onset.
+	Injects uint64 `json:"injects,omitempty"`
 }
 
 // wakeHist builds the overall wakeup-latency histogram from spans with a
@@ -108,6 +113,8 @@ func buildWindows(events []trace.Event, spans *obs.SpanSet, cfg Config) ([]Windo
 			depth++
 		case trace.Steal:
 			ws.Steals++
+		case trace.Inject:
+			ws.Injects++
 		}
 		if depth > ws.RunqHighWater {
 			ws.RunqHighWater = depth

@@ -142,6 +142,18 @@ func BuildPerfetto(events []trace.Event, cfg ExportConfig) *TraceFile {
 					Args: map[string]any{"task": ev.Task, "app": ev.App, "arg": ev.Arg},
 				})
 			}
+		case trace.Inject:
+			// Injected faults land on the affected CPU's track under their
+			// own category so chaos-run tails can be eyeballed against
+			// fault onset.
+			if cfg.Instants && ev.CPU >= 0 {
+				add(TraceEvent{
+					Name: trace.InjectName(ev.Arg),
+					Ph:   "i", Cat: "fault", S: "t",
+					Ts: usec(at), Pid: tracePid, Tid: ev.CPU,
+					Args: map[string]any{"arg": ev.Arg},
+				})
+			}
 		}
 	}
 	for cpu := range open {

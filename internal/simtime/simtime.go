@@ -98,9 +98,10 @@ const (
 
 // Clock owns virtual time and the pending-event store.
 type Clock struct {
-	now    Time
-	seq    uint64
-	nEvent uint64 // total events dispatched, for trace hashing/debug
+	now      Time
+	seq      uint64
+	nEvent   uint64 // total events dispatched, for trace hashing/debug
+	observer func() // nil unless SetObserver; runs after each dispatch
 
 	nodes []node
 	free  uint32 // freelist head (0 = empty)
@@ -233,8 +234,17 @@ func (c *Clock) Step() bool {
 	fn := n.fn
 	c.release(id)
 	fn()
+	if c.observer != nil {
+		c.observer()
+	}
 	return true
 }
+
+// SetObserver installs fn to run after every dispatched event (nil removes
+// it). The observer must not schedule events or mutate simulation state —
+// it exists for after-each-event assertions (faults.InvariantChecker) and
+// must leave a run bit-identical to one without it.
+func (c *Clock) SetObserver(fn func()) { c.observer = fn }
 
 // Run dispatches events until the queue drains or virtual time would exceed
 // horizon. It returns the time of the last dispatched event.

@@ -36,6 +36,11 @@ const (
 	AppSwitch
 	// Steal: a core steals a task from another runqueue.
 	Steal
+	// Inject: a fault-injection action fired on a core (Arg = inject code,
+	// see InjectName; CPU = target core, App = -1). Purely informational:
+	// the chaos layer records what it did so traces and the doctor can
+	// correlate tail windows with injected faults.
+	Inject
 )
 
 func (k Kind) String() string {
@@ -60,8 +65,47 @@ func (k Kind) String() string {
 		return "appswitch"
 	case Steal:
 		return "steal"
+	case Inject:
+		return "inject"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Inject event Arg codes — what the fault layer did. Defined here rather
+// than in internal/faults so exporters (obs) can name them without
+// importing the injection machinery.
+const (
+	InjectIPIDrop       int64 = iota + 1 // an IPI was swallowed
+	InjectIPIDelay                       // an IPI's flight time was inflated
+	InjectIPIDup                         // an IPI was delivered twice
+	InjectTimerMiss                      // a LAPIC timer fire was skipped
+	InjectTimerDrift                     // a LAPIC rearm interval drifted
+	InjectUINTRSuppress                  // a UINTR notification was suppressed
+	InjectStallOn                        // a core entered a straggler window
+	InjectStallOff                       // a core left a straggler window
+)
+
+// InjectName names an Inject event's Arg code.
+func InjectName(arg int64) string {
+	switch arg {
+	case InjectIPIDrop:
+		return "ipi-drop"
+	case InjectIPIDelay:
+		return "ipi-delay"
+	case InjectIPIDup:
+		return "ipi-dup"
+	case InjectTimerMiss:
+		return "timer-miss"
+	case InjectTimerDrift:
+		return "timer-drift"
+	case InjectUINTRSuppress:
+		return "uintr-suppress"
+	case InjectStallOn:
+		return "stall-on"
+	case InjectStallOff:
+		return "stall-off"
+	}
+	return fmt.Sprintf("inject(%d)", arg)
 }
 
 // Event is one trace record.
@@ -86,7 +130,7 @@ type Ring struct {
 	wrapped bool
 	total   uint64
 	hash    uint64
-	counts  [Steal + 1]uint64
+	counts  [Inject + 1]uint64
 }
 
 // New creates a ring holding up to capacity events.
@@ -246,7 +290,7 @@ func Validate(events []Event) error {
 			// A re-steal before the task ran simply moves it again; the
 			// latest stealing core owns the next dispatch.
 			stolenTo[ev.Task] = ev.CPU
-		case Wake, AppSwitch, Fault:
+		case Wake, AppSwitch, Fault, Inject:
 			// Informational; no ownership change.
 		}
 	}
@@ -257,12 +301,12 @@ func Validate(events []Event) error {
 // (Ring.Counts) or over an event window (Summarise).
 type Stats struct {
 	Dispatches, Preempts, Yields, Blocks, Sleeps, Faults, Exits,
-	Wakes, AppSwitches, Steals uint64
+	Wakes, AppSwitches, Steals, Injects uint64
 }
 
 // fromCounts fills s from a per-kind count array (the ring's lifetime
 // counters), keeping the two Stats sources structurally identical.
-func (s *Stats) fromCounts(counts *[Steal + 1]uint64) {
+func (s *Stats) fromCounts(counts *[Inject + 1]uint64) {
 	s.Dispatches = counts[Dispatch]
 	s.Preempts = counts[Preempt]
 	s.Yields = counts[Yield]
@@ -273,6 +317,7 @@ func (s *Stats) fromCounts(counts *[Steal + 1]uint64) {
 	s.Wakes = counts[Wake]
 	s.AppSwitches = counts[AppSwitch]
 	s.Steals = counts[Steal]
+	s.Injects = counts[Inject]
 }
 
 // Counts reports lifetime event counts by kind — the authoritative totals,
@@ -287,7 +332,7 @@ func (r *Ring) Counts() Stats {
 // Ring.Counts; this helper exists for windowed slices (e.g. the tail of a
 // dump, or one AppendEvents batch of a long sweep).
 func Summarise(events []Event) Stats {
-	var counts [Steal + 1]uint64
+	var counts [Inject + 1]uint64
 	for _, ev := range events {
 		if int(ev.Kind) < len(counts) {
 			counts[ev.Kind]++

@@ -64,6 +64,7 @@ type Receiver struct {
 	delivered uint64
 	dropped   uint64 // vector matched UINV but PIR was empty (§3.2 trap)
 	uirets    uint64 // UIRET instructions executed
+	rescans   uint64 // software rescans that re-raised a lost notification
 }
 
 // NewReceiver installs UINTR receive state on core and registers it as the
@@ -88,6 +89,28 @@ func (r *Receiver) Dropped() uint64   { return r.dropped }
 // UIRets reports executed UIRET instructions (one per handler completion —
 // the Table 6 "user interrupt return" operation).
 func (r *Receiver) UIRets() uint64 { return r.uirets }
+
+// Rescans reports how many Rescan calls actually re-raised a notification.
+func (r *Receiver) Rescans() uint64 { return r.rescans }
+
+// Rescan is the software recovery path for posted-but-unnotified interrupts:
+// if the UPID holds PIR bits with no outstanding notification and no
+// suppression in force — the §3.2 trap: a send landed during an SN window
+// that has since closed, or the notification was swallowed — it sets ON and
+// raises a self-IPI with the notification vector, exactly what the kernel
+// does when unmasking user interrupts (and what our watchdog does on its
+// sweeps). It reports whether a notification was sent. An SN currently set
+// means posted bits are *expected* to sit unnotified (timer delegation
+// keeps its vector pre-armed in the PIR this way), so Rescan stays out.
+func (r *Receiver) Rescan() bool {
+	if r.upid == nil || r.upid.PIR == 0 || r.upid.ON || r.upid.SN {
+		return false
+	}
+	r.upid.ON = true
+	r.rescans++
+	r.core.Machine().SendIPI(r.core.ID, r.core.ID, r.upid.NV, r.cost.UserIPIDeliver, nil)
+	return true
+}
 
 // Register configures the receiver: interrupt vector uinv, handler fn, and
 // allocates the UPID. This models the UINV/UIHANDLER MSR writes plus UPID
@@ -197,6 +220,21 @@ func (r *Receiver) UIRet() {
 	r.core.EndIRQ()
 }
 
+// ForceRescan clears a possibly-stale outstanding-notification bit before
+// rescanning: the recovery for a notification lost on the wire *after* ON
+// was set, which an ordinary Rescan cannot touch. Safe against the race
+// where the original notification does arrive late — the duplicate
+// delivery finds an empty PIR, is counted dropped, and ends the IRQ.
+// Reserved for watchdog-grade evidence of a wedge (budget exceeded), not
+// routine sweeps.
+func (r *Receiver) ForceRescan() bool {
+	if r.upid == nil || r.upid.PIR == 0 || r.upid.SN {
+		return false
+	}
+	r.upid.ON = false
+	return r.Rescan()
+}
+
 // Sender is the per-core send state: the UITT plus the SENDUIPI operation.
 type Sender struct {
 	core     *hw.Core
@@ -255,9 +293,15 @@ func (s *Sender) SendUIPI(idx int) bool {
 	if e.UPID.ON {
 		return false // notification already outstanding
 	}
+	m := s.core.Machine()
+	if h := m.Hooks; h != nil && h.UIPI != nil && h.UIPI(e.UPID.NDST, e.UPID.NV) {
+		// Injected suppression: the vector is posted in the PIR but the
+		// notification is lost, and ON stays clear — recoverable only by a
+		// later send or a Rescan, the §3.2 trap made reachable on demand.
+		return false
+	}
 	e.UPID.ON = true
 	s.sent++
-	m := s.core.Machine()
 	delay := s.cost.UserIPIDeliver
 	if !m.SameSocket(s.core.ID, e.UPID.NDST) {
 		delay = s.cost.UserIPIDeliverXNUMA
@@ -388,6 +432,9 @@ func (s *MSISource) Raise(idx int) {
 	t.upid.PIR |= 1 << t.vector
 	if t.upid.SN || t.upid.ON {
 		return
+	}
+	if h := s.m.Hooks; h != nil && h.UIPI != nil && h.UIPI(t.upid.NDST, t.upid.NV) {
+		return // injected suppression: posted, ON clear, notification lost
 	}
 	t.upid.ON = true
 	s.posted++

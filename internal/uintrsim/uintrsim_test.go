@@ -244,3 +244,96 @@ func TestONBitCoalescesNotifications(t *testing.T) {
 		t.Fatalf("Sent() = %d, want 1", send.Sent())
 	}
 }
+
+// TestRescanRecoversSNWindowPost is the self-IPI recovery regression
+// (DESIGN.md §10): a vector posted during an SN window whose notification
+// was therefore never sent stays stranded in the PIR after SN clears —
+// until a software rescan raises the notification itself. The rescan must
+// refuse while SN is still in force (a delegated timer keeps its vector
+// deliberately pre-armed that way) and deliver once the window closes.
+func TestRescanRecoversSNWindowPost(t *testing.T) {
+	m := newMachine(2)
+	cost := cycles.Default()
+	recv := NewReceiver(m.Cores[1], cost)
+	fired := 0
+	upid := recv.Register(0xEC, func(vec uint8, _ simtime.Duration) {
+		fired++
+		recv.UIRet()
+	})
+	send := NewSender(m.Cores[0], cost)
+	idx := send.Connect(upid, 5)
+
+	recv.SetSN(true)
+	if send.SendUIPI(idx) {
+		t.Fatal("SendUIPI generated an IPI despite SN")
+	}
+	m.Clock.Run(simtime.Infinity)
+	if fired != 0 || upid.PIR != 1<<5 {
+		t.Fatalf("after SN-window post: fired=%d PIR=%b", fired, upid.PIR)
+	}
+	// The window outlasted the pending notification; while it is open a
+	// rescan must not deliver.
+	if recv.Rescan() {
+		t.Fatal("Rescan fired inside an SN window")
+	}
+	recv.SetSN(false)
+	if !recv.Rescan() {
+		t.Fatal("Rescan found nothing after the SN window closed")
+	}
+	m.Clock.Run(simtime.Infinity)
+	if fired != 1 {
+		t.Fatalf("handler fired %d times after rescan, want 1", fired)
+	}
+	if upid.PIR != 0 || upid.ON {
+		t.Fatalf("UPID not drained: PIR=%b ON=%v", upid.PIR, upid.ON)
+	}
+	if recv.Rescans() != 1 {
+		t.Fatalf("Rescans() = %d, want 1", recv.Rescans())
+	}
+}
+
+// TestForceRescanRecoversDroppedNotification covers the ON-stuck wedge: the
+// notification IPI is lost on the wire *after* ON was set, so SENDUIPI
+// coalesces against the stale ON forever and a plain Rescan cannot help.
+// ForceRescan — the watchdog's escalation — clears ON and re-raises.
+func TestForceRescanRecoversDroppedNotification(t *testing.T) {
+	m := newMachine(2)
+	cost := cycles.Default()
+	recv := NewReceiver(m.Cores[1], cost)
+	fired := 0
+	upid := recv.Register(0xEC, func(vec uint8, _ simtime.Duration) {
+		fired++
+		recv.UIRet()
+	})
+	send := NewSender(m.Cores[0], cost)
+	idx := send.Connect(upid, 4)
+
+	// Drop the notification mid-flight: PIR is posted, ON is set, nothing
+	// will ever arrive.
+	m.Hooks = &hw.FaultHooks{IPI: func(from, to int, vec uint8) hw.IPIVerdict {
+		return hw.IPIVerdict{Drop: true}
+	}}
+	if !send.SendUIPI(idx) {
+		t.Fatal("first SendUIPI should have attempted a notification")
+	}
+	m.Clock.Run(simtime.Infinity)
+	if fired != 0 || upid.PIR != 1<<4 || !upid.ON {
+		t.Fatalf("wedge not formed: fired=%d PIR=%b ON=%v", fired, upid.PIR, upid.ON)
+	}
+	// Further sends coalesce against the stale ON; a plain rescan refuses
+	// while ON claims a notification is outstanding.
+	if send.SendUIPI(idx) {
+		t.Fatal("SendUIPI sent an IPI despite ON")
+	}
+	if recv.Rescan() {
+		t.Fatal("Rescan fired with ON set")
+	}
+	m.Hooks = nil
+	if !recv.ForceRescan() {
+		t.Fatal("ForceRescan found nothing to recover")
+	}
+	m.Clock.Run(simtime.Infinity)
+	if fired != 1 {
+		t.Fatalf("handler fired %d times after force-rescan, want 1", fired)
+	}
+}
