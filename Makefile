@@ -38,6 +38,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Fast race loop for the sharded event core: the packages whose tests spawn
+# real goroutines (engine lane workers, the parallel sweep runner). `make
+# check` runs the full-tree `race` target, which subsumes this; race-core
+# exists for quick iteration on internal/simtime and internal/bench.
+.PHONY: race-core
+race-core:
+	$(GO) test -race ./internal/simtime/... ./internal/bench/...
+
 # A handful of iterations only — this is a smoke test that the benchmarks
 # still compile and run, not a measurement. Real numbers: see EXPERIMENTS.md
 # ("Event-core performance") and `go test -bench . -benchmem`.
@@ -87,7 +95,10 @@ bench-gate:
 # Chaos gate (DESIGN.md §10): run every fault-plan preset twice plus a clean
 # twin — deterministic replay, zero invariant violations, hardening
 # demonstrably engaged, bounded p99.9 degradation — then validate the
-# exported Perfetto trace carries fault instants on the CPU tracks.
+# exported Perfetto trace carries fault instants on the CPU tracks. The gate
+# also replays every plan on a 2-shard event core (DESIGN.md §11) and fails
+# unless the trace hash, event total, and dispatched count are bit-identical
+# to the serial run with zero invariant violations.
 .PHONY: chaos
 chaos:
 	@tmp=$$(mktemp -d) && trap 'rm -rf $$tmp' EXIT && \

@@ -15,7 +15,7 @@
 //
 // Usage:
 //
-//	skyloft-bench [-quick] [-seed 1] [-report-out BENCH_skyloft.json] [-report-only]
+//	skyloft-bench [-quick] [-seed 1] [-shards N] [-report-out BENCH_skyloft.json] [-report-only]
 package main
 
 import (
@@ -126,6 +126,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	seed := flag.Uint64("seed", 1, "random seed")
 	par := flag.Int("par", 0, "max parallel trials (0 = GOMAXPROCS, 1 = serial)")
+	shards := flag.Int("shards", 0, "event-core shards (0 = serial clock, N = sharded engine with N lanes)")
 	reportOut := flag.String("report-out", "", "write the machine-readable benchmark report as JSON (\"-\" for stdout)")
 	reportOnly := flag.Bool("report-only", false, "emit only the -report-out JSON, skip the printed tables")
 	chaos := flag.String("chaos", "", "run the chaos gate for a fault-plan preset (or \"all\") instead of the benchmark sweep")
@@ -133,6 +134,7 @@ func main() {
 	of := obs.BindFlags()
 	flag.Parse()
 	bench.SetSweepWorkers(*par)
+	bench.SetShards(*shards)
 
 	if *chaos != "" {
 		runChaos(*chaos, *seed, *chaosTraceOut)

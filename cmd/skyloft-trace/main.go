@@ -14,7 +14,7 @@
 //
 // Usage:
 //
-//	skyloft-trace [-n 40] [-dur 5ms] [-threads 8] \
+//	skyloft-trace [-n 40] [-dur 5ms] [-threads 8] [-shards N] \
 //	              [-trace-out trace.json] [-metrics-out metrics.json] \
 //	              [-doctor-out doctor.json] [-occupancy]
 package main
@@ -40,11 +40,14 @@ func main() {
 	n := flag.Int("n", 40, "events to dump at the end")
 	dur := flag.Duration("dur", 5*time.Millisecond, "virtual run length")
 	threads := flag.Int("threads", 8, "churn threads")
+	shards := flag.Int("shards", 0, "event-core shards (0 = serial clock, N = sharded engine with N lanes)")
 	of := obs.BindFlags()
 	flag.Parse()
 
 	tr := trace.New(1 << 18)
-	machine := hw.NewMachine(hw.DefaultConfig())
+	hwCfg := hw.DefaultConfig()
+	hwCfg.Shards = *shards
+	machine := hw.NewMachine(hwCfg)
 	engine := core.New(core.Config{
 		Machine:   machine,
 		CPUs:      []int{0, 1},

@@ -41,6 +41,12 @@ func DefaultDiffConfig() DiffConfig {
 		Default: Tolerance{Rel: 0.25, Abs: 2},
 		PerPrefix: map[string]Tolerance{
 			"chaos.": {Rel: 0.6, Abs: 5},
+			// engine.* metrics come from the deterministic op-count cost
+			// model, so they only move when event-core code changes; a
+			// tighter band catches dispatch-path regressions (an extra scan
+			// or compare per event shifts events_per_sec well past 10%)
+			// while letting workload-driven event-count drift land.
+			"engine.": {Rel: 0.10, Abs: 0.5},
 		},
 	}
 }

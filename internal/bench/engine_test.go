@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"skyloft/internal/apps/server"
+	"skyloft/internal/hw"
+	"skyloft/internal/obs"
+	"skyloft/internal/simtime"
+	"skyloft/internal/trace"
+)
+
+// Differential harness for the sharded event core (the tentpole's
+// determinism contract): serial Clock vs Engine{1,2,4,8} on the Fig. 5 and
+// Fig. 7 quick configs across eight seeds — golden trace hashes, span
+// determinism hashes, and dispatched-event counts must be identical at
+// every shard count.
+
+// engineShardCounts are the differential grid: -1 selects the serial
+// clock (hw.Config.Shards = 0), the rest are engine lane counts.
+var engineShardCounts = []int{-1, 1, 2, 4, 8}
+
+func shardedMachine(shards int) *hw.Machine {
+	cfg := hw.DefaultConfig()
+	if shards > 0 {
+		cfg.Shards = shards
+	}
+	return hw.NewMachine(cfg)
+}
+
+// runSignature is one run's behavioural fingerprint.
+type runSignature struct {
+	traceHash  uint64
+	traceTotal uint64
+	spanHash   uint64
+	dispatched uint64
+}
+
+func (s runSignature) String() string {
+	return fmt.Sprintf("trace=%016x/%d spans=%016x dispatched=%d",
+		s.traceHash, s.traceTotal, s.spanHash, s.dispatched)
+}
+
+func fig5Signature(shards int, seed uint64) runSignature {
+	m := shardedMachine(shards)
+	tr := trace.New(1 << 16)
+	schbenchSkyloft(SkyloftRR, 0, 16, 5, seed, m, tr)
+	return runSignature{
+		traceHash:  tr.Hash(),
+		traceTotal: tr.Total(),
+		spanHash:   obs.BuildSpans(tr.Events()).Hash(),
+		dispatched: m.Clock.Dispatched(),
+	}
+}
+
+func fig7Signature(shards int, seed uint64) runSignature {
+	m := shardedMachine(shards)
+	tr := trace.New(1 << 16)
+	RunSynthetic(SynthConfig{
+		System: SynthSkyloft, Rate: 0.5 * Capacity(Fig7Workers, server.DispersiveClasses()),
+		Duration: 5 * simtime.Millisecond, Warmup: simtime.Millisecond,
+		Seed: seed, machine: m, tr: tr,
+	})
+	return runSignature{
+		traceHash:  tr.Hash(),
+		traceTotal: tr.Total(),
+		spanHash:   obs.BuildSpans(tr.Events()).Hash(),
+		dispatched: m.Clock.Dispatched(),
+	}
+}
+
+func runDifferential(t *testing.T, name string, sig func(shards int, seed uint64) runSignature) {
+	t.Helper()
+	seeds := []uint64{1, 2, 3, 5, 8, 13, 21, 42}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		want := sig(engineShardCounts[0], seed)
+		if want.traceTotal == 0 {
+			t.Fatalf("%s seed %d: serial run recorded no trace events", name, seed)
+		}
+		for _, shards := range engineShardCounts[1:] {
+			got := sig(shards, seed)
+			if got != want {
+				t.Errorf("%s seed %d shards %d diverged:\n  serial: %v\n  engine: %v",
+					name, seed, shards, want, got)
+			}
+		}
+	}
+}
+
+func TestEngineDifferentialFig5(t *testing.T) {
+	runDifferential(t, "fig5", fig5Signature)
+}
+
+func TestEngineDifferentialFig7(t *testing.T) {
+	runDifferential(t, "fig7", fig7Signature)
+}
+
+// The report's engine probe feeds the regression gate: the sharded engine
+// must dispatch the same events as the serial clock and beat it on modeled
+// events/sec for the 48-core Fig. 7 run.
+func TestEngineProbeBeatsSerial(t *testing.T) {
+	serial, sharded := engineProbe(1)
+	if serial.dispatched != sharded.dispatched {
+		t.Fatalf("probe dispatch counts differ: serial %d, sharded %d",
+			serial.dispatched, sharded.dispatched)
+	}
+	if sharded.eventsPerSec <= serial.eventsPerSec {
+		t.Fatalf("sharded engine %f events/s does not beat serial %f",
+			sharded.eventsPerSec, serial.eventsPerSec)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"skyloft/internal/apps/server"
 	"skyloft/internal/baseline/linuxsim"
+	"skyloft/internal/hw"
 	"skyloft/internal/obs"
 	"skyloft/internal/obs/doctor"
 	"skyloft/internal/simtime"
@@ -120,6 +121,18 @@ func BuildReport(seed uint64, quick bool) *BenchReport {
 		r.Metrics["fig7a."+string(sys)+".throughput_rps"] = p.Throughput
 	}
 
+	// Engine throughput probe: the 48-core Fig. 7a point on the serial
+	// clock vs the sharded engine. events_per_sec is fully deterministic —
+	// it divides the dispatched-event count by the event core's *modeled*
+	// bookkeeping time (scan/compare operation counts at fixed ns costs),
+	// not wall time — so the speedup is regression-gated like any metric.
+	serialProbe, shardedProbe := engineProbe(seed)
+	r.Metrics["engine.shards"] = float64(shardedProbe.shards)
+	r.Metrics["engine.events_per_sec"] = shardedProbe.eventsPerSec
+	r.Metrics["engine.events_per_sec_serial"] = serialProbe.eventsPerSec
+	r.Metrics["engine.speedup"] = shardedProbe.eventsPerSec / serialProbe.eventsPerSec
+	r.Metrics["engine.dispatched"] = float64(shardedProbe.dispatched)
+
 	// Table 6: delivery cost per preemption mechanism (cycles).
 	for _, row := range Table6() {
 		r.Metrics["table6."+row.Name+".delivery_cycles"] = row.Delivery
@@ -151,6 +164,54 @@ func BuildReport(seed uint64, quick bool) *BenchReport {
 	}
 
 	return r
+}
+
+// engineProbeShards is the lane count the report's engine probe runs with
+// (the acceptance gate: a sharded engine must beat serial on the 48-core
+// Fig. 7 run).
+const engineProbeShards = 4
+
+// engineProbeResult is one event core's throughput measurement.
+type engineProbeResult struct {
+	shards       int
+	dispatched   uint64
+	eventsPerSec float64
+}
+
+// engineProbe runs the 48-core Fig. 7a quick load point twice — serial
+// clock, then a sharded engine — and reports each core's modeled event
+// throughput. The two runs must dispatch identical event counts: they are
+// the same simulation by the engine's determinism contract, and a mismatch
+// is a correctness bug worth dying loudly over.
+func engineProbe(seed uint64) (serial, sharded engineProbeResult) {
+	run := func(shards int) engineProbeResult {
+		cfg := hw.DefaultConfig() // all 48 cores
+		cfg.Shards = shards
+		m := hw.NewMachine(cfg)
+		load := 0.8 * Capacity(Fig7Workers, server.DispersiveClasses())
+		RunSynthetic(SynthConfig{
+			System: SynthSkyloft, Rate: load,
+			Duration: 30 * simtime.Millisecond, Warmup: 30 * simtime.Millisecond,
+			Seed: seed, machine: m,
+		})
+		dispatched := m.Clock.Dispatched()
+		overhead := m.Clock.OverheadNs()
+		if overhead == 0 {
+			panic("bench: engine probe ran no events")
+		}
+		return engineProbeResult{
+			shards:       m.Lanes(),
+			dispatched:   dispatched,
+			eventsPerSec: float64(dispatched) / float64(overhead) * 1e9,
+		}
+	}
+	serial = run(0)
+	sharded = run(engineProbeShards)
+	if serial.dispatched != sharded.dispatched {
+		panic(fmt.Sprintf("bench: engine probe dispatch divergence: serial %d, %d-shard %d",
+			serial.dispatched, engineProbeShards, sharded.dispatched))
+	}
+	return serial, sharded
 }
 
 // WriteJSON writes the report as indented JSON; output is byte-stable for

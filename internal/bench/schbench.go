@@ -7,12 +7,14 @@ import (
 	"skyloft/internal/baseline/linuxsim"
 	"skyloft/internal/core"
 	"skyloft/internal/cycles"
+	"skyloft/internal/hw"
 	"skyloft/internal/policy/cfs"
 	"skyloft/internal/policy/eevdf"
 	"skyloft/internal/policy/fifo"
 	"skyloft/internal/policy/rr"
 	"skyloft/internal/simtime"
 	"skyloft/internal/stats"
+	"skyloft/internal/trace"
 )
 
 // Fig. 5 and Fig. 6 (§5.1): schbench wakeup latency across schedulers and
@@ -59,7 +61,16 @@ func skyloftPolicy(s SkyloftSched, slice simtime.Duration) core.Policy {
 // SchbenchSkyloft runs schbench on a Skyloft per-CPU policy with the
 // 100 kHz delegated user timer.
 func SchbenchSkyloft(s SkyloftSched, slice simtime.Duration, workers, reqPerWorker int, seed uint64) SchbenchResult {
-	m := newMachine()
+	return schbenchSkyloft(s, slice, workers, reqPerWorker, seed, nil, nil)
+}
+
+// schbenchSkyloft is SchbenchSkyloft with a machine override and a trace
+// ring — the engine differential harness runs the same Fig. 5 config on
+// serial and sharded event cores and compares the recorded schedules.
+func schbenchSkyloft(s SkyloftSched, slice simtime.Duration, workers, reqPerWorker int, seed uint64, m *hw.Machine, tr *trace.Ring) SchbenchResult {
+	if m == nil {
+		m = newMachine()
+	}
 	e := core.New(core.Config{
 		Machine:   m,
 		CPUs:      cpuList(Fig5Cores),
@@ -68,6 +79,7 @@ func SchbenchSkyloft(s SkyloftSched, slice simtime.Duration, workers, reqPerWork
 		Costs:     core.SkyloftCosts(cycles.Default()),
 		TimerMode: core.TimerLAPIC,
 		TimerHz:   SkyloftTimerHz,
+		Trace:     tr,
 		Seed:      seed,
 	})
 	defer e.Shutdown()

@@ -15,6 +15,7 @@ import (
 	"skyloft/internal/sched"
 	"skyloft/internal/simtime"
 	"skyloft/internal/stats"
+	"skyloft/internal/trace"
 )
 
 // Fig. 7 (§5.2): synthetic dispersive workload (99.5% × 4 µs, 0.5% × 10 ms)
@@ -46,8 +47,12 @@ type SynthConfig struct {
 	WithBE   bool // co-locate the batch application (Fig. 7b/c)
 	Seed     uint64
 
-	// machine overrides the standard machine (cost-model ablations).
+	// machine overrides the standard machine (cost-model ablations, the
+	// engine throughput probe).
 	machine *hw.Machine
+	// tr, when set, records the run's schedule — the engine differential
+	// harness compares trace hashes across event cores.
+	tr *trace.Ring
 }
 
 // RunSynthetic executes one load point.
@@ -89,7 +94,7 @@ func runSyntheticCentral(cfg SynthConfig) LoadPoint {
 			Machine: m, CPUs: cpuList(ncpu), Mode: core.Centralized,
 			Central:   shinjuku.New(cfg.Quantum),
 			Costs:     core.SkyloftCosts(m.Cost),
-			TimerMode: core.TimerNone, CoreAlloc: alloc, Seed: cfg.Seed,
+			TimerMode: core.TimerNone, CoreAlloc: alloc, Trace: cfg.tr, Seed: cfg.Seed,
 		})
 	case SynthShinjuku:
 		e = shinjukusim.New(shinjukusim.Config{

@@ -967,9 +967,9 @@ func (e *Engine) startUtimer() {
 			s.hwc.Exec(s.send.SendCost(idxOf[i]), nil)
 			s.send.SendUIPI(idxOf[i])
 		}
-		e.m.Clock.After(e.cfg.UtimerQuantum, fire)
+		e.m.Clock.AfterOn(s.hwc.Lane(), e.cfg.UtimerQuantum, fire)
 	}
-	e.m.Clock.After(e.cfg.UtimerQuantum, fire)
+	e.m.Clock.AfterOn(s.hwc.Lane(), e.cfg.UtimerQuantum, fire)
 }
 
 // ---- thread request processing ----
@@ -1031,7 +1031,7 @@ func (e *Engine) resumeThread(c *coreCtx, t *sched.Thread, resp any) {
 			e.emit(trace.Sleep, c.idx, t, int64(r.D))
 			t.State = sched.Sleeping
 			u := ut(t)
-			u.sleepEv = e.m.Clock.After(r.D, u.sleepFn)
+			u.sleepEv = e.m.Clock.AfterOn(c.hwc.Lane(), r.D, u.sleepFn)
 			c.setCurr(nil)
 			e.scheduleNext(c)
 			return
@@ -1042,7 +1042,7 @@ func (e *Engine) resumeThread(c *coreCtx, t *sched.Thread, resp any) {
 			e.emit(trace.Sleep, c.idx, t, int64(r.D))
 			t.State = sched.Sleeping
 			u := ut(t)
-			u.sleepEv = e.m.Clock.After(r.D, u.sleepFn)
+			u.sleepEv = e.m.Clock.AfterOn(c.hwc.Lane(), r.D, u.sleepFn)
 			c.setCurr(nil)
 			e.scheduleNext(c)
 			return

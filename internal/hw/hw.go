@@ -40,6 +40,16 @@ type Config struct {
 	Cores          int
 	CoresPerSocket int
 	Cost           cycles.Model
+
+	// Shards selects the event core: 0 runs the serial simtime.Clock
+	// (the historical default and differential reference), n >= 1 runs a
+	// sharded simtime.Engine with n lanes, cores mapped to lanes in
+	// contiguous groups. Dispatch order — and therefore every trace hash —
+	// is identical either way.
+	Shards int
+	// Lookahead overrides the engine's conservative synchronisation
+	// window (0 = simtime.DefaultLookahead). Ignored when Shards == 0.
+	Lookahead simtime.Duration
 }
 
 // DefaultConfig mirrors the paper's server: 48 hyperthreads across two
@@ -50,7 +60,7 @@ func DefaultConfig() Config {
 
 // Machine is the simulated host.
 type Machine struct {
-	Clock *simtime.Clock
+	Clock simtime.EventCore
 	Cores []*Core
 	Cost  cycles.Model
 
@@ -60,6 +70,7 @@ type Machine struct {
 	Hooks *FaultHooks
 
 	coresPerSocket int
+	lanes          int
 	ipisSent       uint64
 	irqsCoalesced  uint64     // interrupt edges absorbed by a pending vector
 	ipiFree        *ipiFlight // recycled in-flight IPI records
@@ -115,7 +126,11 @@ func (f *ipiFlight) deliver() {
 	target.Interrupt(irq)
 }
 
-// NewMachine builds a machine per cfg with a fresh clock.
+// NewMachine builds a machine per cfg with a fresh event core: the serial
+// clock for Shards == 0, a sharded engine otherwise, with cores assigned
+// to lanes in contiguous groups (so a socket's cores share lanes and
+// cross-socket IPIs are the cross-shard traffic, matching the hardware's
+// own locality structure).
 func NewMachine(cfg Config) *Machine {
 	if cfg.Cores <= 0 {
 		panic("hw: machine needs at least one core")
@@ -124,12 +139,22 @@ func NewMachine(cfg Config) *Machine {
 		cfg.CoresPerSocket = cfg.Cores
 	}
 	m := &Machine{
-		Clock:          simtime.NewClock(),
 		Cost:           cfg.Cost,
 		coresPerSocket: cfg.CoresPerSocket,
+		lanes:          1,
+	}
+	if cfg.Shards > 0 {
+		e := simtime.NewEngine(cfg.Shards)
+		if cfg.Lookahead > 0 {
+			e.SetLookahead(cfg.Lookahead)
+		}
+		m.Clock = e
+		m.lanes = cfg.Shards
+	} else {
+		m.Clock = simtime.NewClock()
 	}
 	for i := 0; i < cfg.Cores; i++ {
-		c := &Core{ID: i, m: m}
+		c := &Core{ID: i, m: m, lane: i * m.lanes / cfg.Cores}
 		c.Timer = &LAPICTimer{core: c}
 		c.deliverFn = c.deliverOne
 		c.runDoneFn = c.runDone
@@ -137,6 +162,13 @@ func NewMachine(cfg Config) *Machine {
 	}
 	return m
 }
+
+// Lanes reports the event-core shard count (1 for the serial clock).
+func (m *Machine) Lanes() int { return m.lanes }
+
+// LaneOf reports the event-core lane serving core id. Fault and netsim
+// layers use it to pin their per-core events to the owning shard.
+func (m *Machine) LaneOf(id int) int { return m.Cores[id].lane }
 
 // Now reports the current virtual time.
 func (m *Machine) Now() simtime.Time { return m.Clock.Now() }
@@ -172,6 +204,12 @@ func (m *Machine) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("hw.irqs.coalesced", func() uint64 { return m.irqsCoalesced })
 	r.CounterFunc("hw.timer.fires", m.TimerFires)
 	r.CounterFunc("hw.clock.dispatched", m.Clock.Dispatched)
+	r.CounterFunc("engine.shards", func() uint64 { return uint64(m.lanes) })
+	if e, ok := m.Clock.(*simtime.Engine); ok {
+		r.CounterFunc("engine.barriers", e.Barriers)
+		r.CounterFunc("engine.cross_posts", e.CrossPosts)
+		r.CounterFunc("engine.near_posts", e.NearPosts)
+	}
 }
 
 // SendIPI posts an interrupt from core `from` to core `to` after the given
@@ -206,7 +244,9 @@ func (m *Machine) queueIPI(from, to int, vec uint8, delay simtime.Duration, data
 	}
 	f.target = m.Cores[to]
 	f.irq = IRQ{Vector: vec, From: from, Data: data}
-	m.Clock.After(delay, f.fire)
+	// The flight lands on the *target's* lane: an IPI is exactly the
+	// cross-shard traffic the engine's lookahead window accounts for.
+	m.Clock.AfterOn(f.target.lane, delay, f.fire)
 }
 
 // Core is one simulated hardware thread.
@@ -215,6 +255,7 @@ type Core struct {
 	Timer *LAPICTimer
 
 	m         *Machine
+	lane      int // event-core lane serving this core's events
 	busyUntil simtime.Time
 	running   bool
 	stall     int64 // wall-time multiplier for occupancy; <=1 means normal
@@ -247,6 +288,11 @@ type runState struct {
 
 // Machine reports the owning machine.
 func (c *Core) Machine() *Machine { return c.m }
+
+// Lane reports the event-core lane serving this core. Layers scheduling
+// events on another core's behalf (preemption quantum checks, sleep
+// timers, kernel grants) pin them to the target core's lane with it.
+func (c *Core) Lane() int { return c.lane }
 
 // SetIRQHandler installs the engine's interrupt handler. The handler runs
 // with further interrupts masked and must eventually call EndIRQ (possibly
@@ -305,7 +351,7 @@ func (c *Core) Exec(cost simtime.Duration, fn func()) {
 	if fn == nil {
 		return
 	}
-	c.m.Clock.At(c.busyUntil, fn)
+	c.m.Clock.AtOn(c.lane, c.busyUntil, fn)
 }
 
 // StartRun begins an interruptible application work segment of the given
@@ -322,7 +368,7 @@ func (c *Core) StartRun(d simtime.Duration, onDone func()) {
 	wall := d * simtime.Duration(scale)
 	start := c.free()
 	c.run = runState{started: start, duration: wall, work: d, scale: scale, onDone: onDone}
-	c.run.done = c.m.Clock.At(start+wall, c.runDoneFn)
+	c.run.done = c.m.Clock.AtOn(c.lane, start+wall, c.runDoneFn)
 	c.running = true
 	c.busyUntil = start + wall
 }
@@ -406,7 +452,7 @@ func (c *Core) scheduleDelivery() {
 	if !c.running && c.busyUntil > at {
 		at = c.busyUntil
 	}
-	c.deliverEvt = c.m.Clock.At(at, c.deliverFn)
+	c.deliverEvt = c.m.Clock.AtOn(c.lane, at, c.deliverFn)
 }
 
 func (c *Core) deliverOne() {
@@ -493,7 +539,7 @@ func (t *LAPICTimer) ArmOneShot(d simtime.Duration, vector uint8) {
 			t.core.Interrupt(IRQ{Vector: t.vector, From: TimerSource})
 		}
 	}
-	t.next = t.core.m.Clock.After(d, t.oneshotFn)
+	t.next = t.core.m.Clock.AfterOn(t.core.lane, d, t.oneshotFn)
 }
 
 // Stop disarms the timer.
@@ -535,8 +581,8 @@ func (t *LAPICTimer) arm() {
 				t.fires++
 				t.core.Interrupt(IRQ{Vector: t.vector, From: TimerSource})
 			}
-			t.next = t.core.m.Clock.After(rearm, t.fireFn)
+			t.next = t.core.m.Clock.AfterOn(t.core.lane, rearm, t.fireFn)
 		}
 	}
-	t.next = t.core.m.Clock.After(t.period, t.fireFn)
+	t.next = t.core.m.Clock.AfterOn(t.core.lane, t.period, t.fireFn)
 }

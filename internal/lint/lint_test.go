@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"strings"
 	"testing"
 
 	"skyloft/internal/lint"
@@ -31,6 +32,39 @@ func TestGoSpawn(t *testing.T) {
 // even as suppressed.
 func TestGoSpawnOutOfScope(t *testing.T) {
 	linttest.RunNoFindings(t, "testdata/src/gospawn", "skyloft/internal/proc", lint.GoSpawn)
+}
+
+// TestGoSpawnLaneWorker checks the engine lane-worker allowlist: the
+// fixture file whose path ends in internal/simtime/engine_par.go spawns a
+// goroutine with no want comment (suppressed by the file allowlist), while
+// the sibling file's spawn in the same package is still reported — the
+// sanction is per-file, not per-package.
+func TestGoSpawnLaneWorker(t *testing.T) {
+	linttest.Run(t, "testdata/src/laneworker/internal/simtime",
+		"skyloft/internal/simtime/laneworkerfixture", lint.GoSpawn)
+}
+
+// TestGoSpawnLaneWorkerAccounting checks the allowlisted finding stays in
+// the raw diagnostic stream, marked suppressed with the allowlist reason.
+func TestGoSpawnLaneWorkerAccounting(t *testing.T) {
+	pkg := linttest.Load(t, "testdata/src/laneworker/internal/simtime",
+		"skyloft/internal/simtime/laneworkeraccfixture")
+	var suppressed []lint.Diagnostic
+	for _, d := range lint.Run(pkg, []*lint.Analyzer{lint.GoSpawn}) {
+		if d.Suppressed {
+			suppressed = append(suppressed, d)
+		}
+	}
+	if len(suppressed) != 1 {
+		t.Fatalf("suppressed findings = %d, want 1: %v", len(suppressed), suppressed)
+	}
+	d := suppressed[0]
+	if d.Reason == "" {
+		t.Errorf("allowlisted finding carries no reason: %s", d)
+	}
+	if want := "engine_par.go"; !strings.HasSuffix(d.Pos.Filename, want) {
+		t.Errorf("suppressed finding in %s, want file %s", d.Pos.Filename, want)
+	}
 }
 
 func TestSelectOrder(t *testing.T) {

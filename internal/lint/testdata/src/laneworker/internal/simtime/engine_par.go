@@ -1,0 +1,23 @@
+// Fixture mirroring the engine's sanctioned lane-worker spawn site: this
+// file's on-disk path ends in internal/simtime/engine_par.go, so the
+// gospawn file allowlist must suppress its goroutine finding (it stays in
+// the raw stream, marked with the allowlist reason).
+package laneworker
+
+import "sync"
+
+type engine struct{ lanes []int }
+
+func (e *engine) maintain(l int) { e.lanes[l]++ }
+
+func (e *engine) parMaintain() {
+	var wg sync.WaitGroup
+	wg.Add(len(e.lanes))
+	for l := range e.lanes {
+		go func(l int) { // allowlisted: no want comment
+			defer wg.Done()
+			e.maintain(l)
+		}(l)
+	}
+	wg.Wait()
+}

@@ -26,10 +26,13 @@ type Waker interface {
 	ExternalWake(t *sched.Thread)
 }
 
-// Clock is the subset of simtime.Clock the NIC needs.
+// Clock is the subset of the simtime event core the NIC needs. AfterOn
+// lets the datapath pin deliveries to the event-core lane serving the
+// polling core when the machine runs a sharded engine.
 type Clock interface {
 	Now() simtime.Time
 	After(d simtime.Duration, fn func()) simtime.Event
+	AfterOn(lane int, d simtime.Duration, fn func()) simtime.Event
 }
 
 // NIC is the simulated device. In the default polling mode (§3.5) a
@@ -41,6 +44,7 @@ type Clock interface {
 type NIC struct {
 	clock Clock
 	cost  cycles.Model
+	lane  int            // event-core lane for datapath deliveries
 	rings []func(Packet) // per-ring handler (installed by the app/runtime)
 	seq   uint64
 
@@ -82,6 +86,11 @@ func NewNIC(clock Clock, cost cycles.Model, n int) *NIC {
 	}
 	return nic
 }
+
+// SetLane pins the NIC's datapath deliveries to an event-core lane —
+// normally the lane of the polling core (hw.Machine.LaneOf). The serial
+// clock ignores the hint.
+func (n *NIC) SetLane(lane int) { n.lane = lane }
 
 // OnRing installs the handler invoked for packets steered to ring i.
 func (n *NIC) OnRing(i int, fn func(Packet)) { n.rings[i] = fn }
@@ -146,7 +155,7 @@ func (n *NIC) Deliver(p Packet) {
 	}
 	delay := n.cost.NICPoll + n.cost.RingHop + n.cost.NetStack
 	n.inflight = append(n.inflight, inflightPkt{ring: ring, p: p})
-	n.clock.After(delay, n.deliverFn)
+	n.clock.AfterOn(n.lane, delay, n.deliverFn)
 }
 
 // Ring is a blocking packet queue for worker-pool servers: external pushes

@@ -1,0 +1,429 @@
+// Sharded discrete-event engine (PDES with conservative lookahead).
+//
+// The Engine owns N lanes — each a pooled timer-wheel Clock serving one
+// group of simulated cores — and synchronises them with the classic
+// conservative-lookahead discipline: cross-lane events (preemption IPIs,
+// work steals, netsim deliveries, ksched grants) may not take effect
+// sooner than the lookahead horizon, so between two barriers every lane's
+// schedule is already fixed and lane-local work (wheel-window advances,
+// overflow migration) can proceed in parallel. At each barrier the engine
+// re-derives the global safe window and runs the merge-time observer
+// (faults.InvariantChecker audits here, not per-lane dispatch).
+//
+// Why conservative, not optimistic: callbacks are closures over shared
+// scheduler state (policy queues, trace ring, counters), so a misspeculated
+// dispatch cannot be rolled back. The engine therefore executes callbacks
+// on a single coordinator in exact global (deadline, sequence) order, with
+// sequence numbers drawn from one engine-global counter at schedule time.
+// Schedule calls only happen inside serially-executed callbacks, so the
+// sequence assignment — and with it dispatch order, state mutation order
+// and trace append order — is identical to the serial Clock's by
+// construction: golden trace hashes, span hashes and chaos replay are
+// bit-identical at every shard count. What sharding buys is per-dispatch
+// cost: the serial Run loop scans the wheel bitmap twice per event (peek,
+// then take), while the engine keeps a cached head per lane and pays one
+// scan plus a k-way argmin — and lane maintenance between barriers is
+// embarrassingly parallel (see engine_par.go).
+package simtime
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Lane identity is packed into the top bits of an Event handle's index, so
+// handles stay two-word values and Cancel can route to the owning lane.
+const (
+	laneShift = 24
+	laneMask  = 1<<laneShift - 1
+	// MaxLanes bounds the shard count (the handle packing leaves 8 bits,
+	// but 64 lanes already exceeds any simulated machine here).
+	MaxLanes = 64
+)
+
+// DefaultLookahead is the conservative synchronisation window: the minimum
+// cross-lane latency the machine model guarantees. One microsecond is
+// below every cross-core path in the cycles model (IPI wire delay, NIC
+// datapath, kernel grant), so events posted to another lane inside the
+// current window are counted as lookahead violations (NearPosts) — they
+// stay correct here because dispatch is coordinated, but a distributed
+// engine would have to delay them.
+const DefaultLookahead = Microsecond
+
+// Engine is the sharded event core. It implements EventCore.
+type Engine struct {
+	lanes []*Clock
+
+	now    Time
+	seq    uint64 // engine-global schedule sequence (tie-break order)
+	nEvent uint64
+
+	lookahead Duration
+	windowEnd Time // current barrier window: [last barrier, windowEnd)
+	curLane   int  // lane whose callback is executing (0 at top level)
+
+	// Cached lane heads, refreshed incrementally: the dispatch argmin
+	// reads these instead of rescanning every lane's wheel.
+	headID  []uint32
+	headAt  []Time
+	headSeq []uint64
+
+	observer func() // runs at barrier merge, not per dispatch
+
+	barriers   uint64
+	crossPosts uint64 // events posted to a lane other than the poster's
+	nearPosts  uint64 // cross-lane posts inside the current safe window
+	argCmp     uint64 // argmin compares (cost model, see OverheadNs)
+
+	parallel bool // spawn lane workers for barrier maintenance
+}
+
+// NewEngine builds an engine with the given number of lanes. One lane is
+// the degenerate case (useful as a differential reference against the
+// serial Clock); counts above MaxLanes panic.
+func NewEngine(lanes int) *Engine {
+	if lanes < 1 || lanes > MaxLanes {
+		panic(fmt.Sprintf("simtime: engine lanes %d outside [1, %d]", lanes, MaxLanes))
+	}
+	e := &Engine{
+		lookahead: DefaultLookahead,
+		lanes:     make([]*Clock, lanes),
+		headID:    make([]uint32, lanes),
+		headAt:    make([]Time, lanes),
+		headSeq:   make([]uint64, lanes),
+		parallel:  lanes > 1 && runtime.GOMAXPROCS(0) > 1,
+	}
+	for i := range e.lanes {
+		e.lanes[i] = NewClock()
+		e.headAt[i] = Infinity
+	}
+	return e
+}
+
+// Lanes reports the shard count.
+func (e *Engine) Lanes() int { return len(e.lanes) }
+
+// SetLookahead overrides the conservative window (must be positive).
+func (e *Engine) SetLookahead(d Duration) {
+	if d <= 0 {
+		panic("simtime: lookahead must be positive")
+	}
+	e.lookahead = d
+}
+
+// SetParallel forces barrier-phase lane workers on or off, overriding the
+// GOMAXPROCS autodetect (tests force it on so the race detector watches
+// the worker fan-out even on single-CPU hosts).
+func (e *Engine) SetParallel(on bool) { e.parallel = on }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Dispatched reports how many events have been dispatched so far.
+func (e *Engine) Dispatched() uint64 { return e.nEvent }
+
+// Barriers reports how many synchronisation barriers the run crossed.
+func (e *Engine) Barriers() uint64 { return e.barriers }
+
+// CrossPosts reports events posted to a lane other than the one whose
+// callback posted them (the cross-shard traffic: IPIs, steals, grants,
+// NIC deliveries).
+func (e *Engine) CrossPosts() uint64 { return e.crossPosts }
+
+// NearPosts reports cross-lane posts that landed inside the current safe
+// window — the posts a conservatively-synchronised distributed engine
+// would have to delay to the next barrier. They are safe here (dispatch is
+// coordinated) but are the honest measure of how tight the lookahead is.
+func (e *Engine) NearPosts() uint64 { return e.nearPosts }
+
+// Pending reports queued events across all lanes.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, c := range e.lanes {
+		n += c.Pending()
+	}
+	return n
+}
+
+// StoreSize reports pooled store capacity summed over lanes.
+func (e *Engine) StoreSize() int {
+	n := 0
+	for _, c := range e.lanes {
+		n += c.StoreSize()
+	}
+	return n
+}
+
+// StoreFree reports free store slots summed over lanes.
+func (e *Engine) StoreFree() int {
+	n := 0
+	for _, c := range e.lanes {
+		n += c.StoreFree()
+	}
+	return n
+}
+
+// OverheadNs reports the modeled event-core bookkeeping time: the lanes'
+// scan/compare work plus the coordinator's argmin compares.
+func (e *Engine) OverheadNs() uint64 {
+	n := e.argCmp * cmpCostNs
+	for _, c := range e.lanes {
+		n += c.OverheadNs()
+	}
+	return n
+}
+
+// SetObserver installs fn to run at every barrier merge (nil removes it).
+// Unlike the serial clock's per-dispatch observer, the engine audits when
+// lanes synchronise — the invariant checker sees every state at most one
+// lookahead window after the dispatch that produced it.
+func (e *Engine) SetObserver(fn func()) { e.observer = fn }
+
+// Reset drains every lane and rewinds the engine for reuse, keeping the
+// pooled lane stores.
+func (e *Engine) Reset() {
+	for i, c := range e.lanes {
+		c.Reset()
+		e.headID[i] = 0
+		e.headAt[i] = Infinity
+		e.headSeq[i] = 0
+	}
+	e.now = 0
+	e.seq = 0
+	e.nEvent = 0
+	e.windowEnd = 0
+	e.curLane = 0
+	e.observer = nil
+	e.barriers = 0
+	e.crossPosts = 0
+	e.nearPosts = 0
+	e.argCmp = 0
+}
+
+// At schedules fn at absolute time at on the posting lane — the lane whose
+// callback is currently executing (lane 0 outside any dispatch). Lane-local
+// work (a core's own timers, its run-segment completions) lands on its own
+// shard without every call site naming it.
+func (e *Engine) At(at Time, fn func()) Event { return e.AtOn(e.curLane, at, fn) }
+
+// After schedules fn after d on the posting lane.
+func (e *Engine) After(d Duration, fn func()) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative delay %v", d))
+	}
+	return e.AtOn(e.curLane, e.now+d, fn)
+}
+
+// AfterOn schedules fn after d on the given lane.
+func (e *Engine) AfterOn(lane int, d Duration, fn func()) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative delay %v", d))
+	}
+	return e.AtOn(lane, e.now+d, fn)
+}
+
+// AtOn schedules fn at absolute time at on the given lane. Cross-lane
+// posts (lane != the posting lane) are the conservative-synchronisation
+// traffic; posts inside the current safe window are additionally counted
+// as lookahead violations.
+func (e *Engine) AtOn(lane int, at Time, fn func()) Event {
+	if at < e.now {
+		panic(fmt.Sprintf("simtime: scheduling event at %v before now %v", at, e.now))
+	}
+	if lane < 0 || lane >= len(e.lanes) {
+		panic(fmt.Sprintf("simtime: lane %d outside [0, %d)", lane, len(e.lanes)))
+	}
+	if lane != e.curLane {
+		e.crossPosts++
+		if at < e.windowEnd {
+			e.nearPosts++
+		}
+	}
+	c := e.lanes[lane]
+	e.seq++
+	ev := c.schedule(at, fn, e.seq)
+	if ev.idx > laneMask {
+		panic(fmt.Sprintf("simtime: lane %d store exceeds %d pending events", lane, laneMask))
+	}
+	// Incremental head update: the new event's sequence is the global
+	// maximum, so it only displaces the cached head on a strictly earlier
+	// deadline (a deadline tie keeps the incumbent).
+	if at < e.headAt[lane] {
+		e.headID[lane] = ev.idx
+		e.headAt[lane] = at
+		e.headSeq[lane] = e.seq
+	}
+	ev.idx |= uint32(lane) << laneShift
+	return ev
+}
+
+// Cancel removes a pending event, routing by the handle's lane bits.
+func (e *Engine) Cancel(ev Event) bool {
+	if ev.idx == 0 {
+		return false
+	}
+	lane := int(ev.idx >> laneShift)
+	if lane >= len(e.lanes) {
+		return false
+	}
+	local := ev.idx & laneMask
+	if !e.lanes[lane].Cancel(Event{idx: local, gen: ev.gen}) {
+		return false
+	}
+	if e.headID[lane] == local {
+		e.refreshHead(lane)
+	}
+	return true
+}
+
+// refreshHead re-derives a lane's cached head from its queue.
+func (e *Engine) refreshHead(lane int) {
+	c := e.lanes[lane]
+	id := c.peekMin()
+	if id == 0 {
+		e.headID[lane] = 0
+		e.headAt[lane] = Infinity
+		e.headSeq[lane] = 0
+		return
+	}
+	n := &c.nodes[id]
+	e.headID[lane] = id
+	e.headAt[lane] = n.at
+	e.headSeq[lane] = n.seq
+}
+
+// argmin picks the lane holding the globally earliest (at, seq) head, or
+// -1 when every lane is empty.
+func (e *Engine) argmin() int {
+	best := -1
+	var bAt Time
+	var bSeq uint64
+	for l := range e.headID {
+		if e.headID[l] == 0 {
+			continue
+		}
+		e.argCmp++
+		if best < 0 || e.headAt[l] < bAt || (e.headAt[l] == bAt && e.headSeq[l] < bSeq) {
+			best, bAt, bSeq = l, e.headAt[l], e.headSeq[l]
+		}
+	}
+	return best
+}
+
+// step dispatches lane l's cached head: cross a barrier first if the event
+// leaves the current safe window, pop without rescanning, refresh the
+// winner's head (so inserts during the callback compare against a valid
+// cache), then run the callback with curLane set for default routing.
+func (e *Engine) step(l int) {
+	at := e.headAt[l]
+	if at >= e.windowEnd {
+		e.barrier(at)
+	}
+	id := e.headID[l]
+	c := e.lanes[l]
+	if at < e.now {
+		panic("simtime: queue yielded event in the past")
+	}
+	c.takeKnown(id)
+	fn := c.nodes[id].fn
+	c.release(id)
+	e.refreshHead(l)
+	e.now = at
+	e.nEvent++
+	prev := e.curLane
+	e.curLane = l
+	fn()
+	e.curLane = prev
+}
+
+// barrier opens a new safe window ending lookahead past t, runs the
+// per-lane maintenance (in parallel when enabled — disjoint lane state
+// only), and then the merge observer.
+func (e *Engine) barrier(t Time) {
+	e.barriers++
+	e.windowEnd = t + e.lookahead
+	if e.parallel && len(e.lanes) > 1 && e.maintenanceHeavy() {
+		e.parMaintain()
+	} else {
+		for l := range e.lanes {
+			e.maintain(l)
+		}
+	}
+	if e.observer != nil && e.nEvent > 0 {
+		e.observer()
+	}
+}
+
+// maintenanceHeavy reports whether enough overflow backlog exists across
+// lanes for parallel maintenance to beat its fan-out cost.
+func (e *Engine) maintenanceHeavy() bool {
+	const parBacklog = 256
+	n := 0
+	for _, c := range e.lanes {
+		n += len(c.heap)
+		if n >= parBacklog {
+			return true
+		}
+	}
+	return false
+}
+
+// maintain is one lane's barrier-phase work, touching only that lane's
+// state (plus the read-only globals now/windowEnd): advance an idle lane's
+// wheel window so near-future inserts take the O(1) wheel path, and pull
+// newly in-window overflow events into the wheel. It never changes the
+// lane's minimum, so cached heads stay valid across barriers.
+func (e *Engine) maintain(l int) {
+	c := e.lanes[l]
+	if c.nWheel == 0 {
+		tick := int64(e.now) >> granBits
+		if len(c.heap) > 0 {
+			if ht := int64(c.nodes[c.heap[0]].at) >> granBits; ht < tick {
+				tick = ht
+			}
+		}
+		if tick > c.baseTick {
+			c.baseTick = tick
+		}
+	}
+	c.migrate()
+}
+
+// Step dispatches the earliest pending event across all lanes, advancing
+// time to its deadline. It reports false when every lane is empty.
+func (e *Engine) Step() bool {
+	l := e.argmin()
+	if l < 0 {
+		return false
+	}
+	e.step(l)
+	return true
+}
+
+// Run dispatches events until the lanes drain or virtual time would exceed
+// horizon. It returns the time of the last dispatched event.
+func (e *Engine) Run(horizon Time) Time {
+	for {
+		l := e.argmin()
+		if l < 0 || e.headAt[l] > horizon {
+			return e.now
+		}
+		e.step(l)
+	}
+}
+
+// RunUntil dispatches events while pred returns false, stopping at
+// horizon. It reports whether pred became true.
+func (e *Engine) RunUntil(horizon Time, pred func() bool) bool {
+	for !pred() {
+		l := e.argmin()
+		if l < 0 || e.headAt[l] > horizon {
+			return false
+		}
+		e.step(l)
+	}
+	return true
+}
+
+var _ EventCore = (*Engine)(nil)
+var _ EventCore = (*Clock)(nil)

@@ -1,0 +1,25 @@
+// Parallel barrier-phase lane maintenance. This file is the engine's only
+// goroutine spawn site and is sanctioned in simlint's gospawn allowlist
+// (internal/lint/scope.go): the workers touch strictly disjoint per-lane
+// state — each lane's wheel window, overflow heap and node store — plus the
+// read-only globals now/windowEnd, so the fan-out cannot perturb dispatch
+// order and determinism is preserved by construction. Callbacks never run
+// here; they stay on the coordinator in global (deadline, sequence) order.
+package simtime
+
+import "sync"
+
+// parMaintain runs maintain(l) for every lane concurrently and waits for
+// all of them — a full barrier, so the coordinator resumes only once every
+// lane's wheel window is advanced and its overflow migrated.
+func (e *Engine) parMaintain() {
+	var wg sync.WaitGroup
+	wg.Add(len(e.lanes))
+	for l := range e.lanes {
+		go func(l int) { // lane worker: disjoint per-lane state only
+			defer wg.Done()
+			e.maintain(l)
+		}(l)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,416 @@
+package simtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Differential property test for the tentpole determinism claim: on
+// randomized workloads — cross-lane posts, chained reschedules from inside
+// callbacks, deadlines spanning wheel and overflow, dense ties, cancels —
+// the sharded Engine dispatches the exact same event sequence as the
+// serial Clock at every shard count.
+func TestQuickEngineMatchesClock(t *testing.T) {
+	f := func(seed int64) bool {
+		run := func(core EventCore) []int64 {
+			r := rand.New(rand.NewSource(seed))
+			lanes := core.Lanes()
+			var order []int64
+			var cancels []func() bool
+			id := int64(0)
+			randomAt := func() Time {
+				now := core.Now()
+				switch r.Intn(4) {
+				case 0: // dense near-future ties
+					return now + Time(r.Intn(4)*64)
+				case 1: // wheel range
+					return now + Time(r.Intn(200_000))
+				case 2: // overflow range
+					return now + Time(200_000+r.Intn(2_000_000))
+				default: // far overflow
+					return now + Time(r.Intn(50))*Millisecond
+				}
+			}
+			sched := func(at Time, fn func()) func() bool {
+				// The lane draw must consume randomness identically at
+				// every shard count, or the workloads would diverge.
+				e := core.AtOn(r.Intn(64)%lanes, at, fn)
+				return func() bool { return core.Cancel(e) }
+			}
+			var fire func(myID int64, depth int) func()
+			fire = func(myID int64, depth int) func() {
+				return func() {
+					order = append(order, myID)
+					if depth < 3 && r.Intn(2) == 0 {
+						id++
+						cancels = append(cancels, sched(randomAt(), fire(id, depth+1)))
+					}
+					if len(cancels) > 0 && r.Intn(3) == 0 {
+						cancels[r.Intn(len(cancels))]()
+					}
+				}
+			}
+			for i := 0; i < 40; i++ {
+				id++
+				cancels = append(cancels, sched(randomAt(), fire(id, 0)))
+			}
+			for i := 0; i < 8; i++ {
+				cancels[r.Intn(len(cancels))]()
+			}
+			steps := 0
+			for core.Step() && steps < 500 {
+				steps++
+			}
+			return order
+		}
+
+		ref := NewClock()
+		want := run(ref)
+		for _, shards := range []int{1, 2, 4, 8} {
+			e := NewEngine(shards)
+			got := run(e)
+			if len(got) != len(want) {
+				t.Logf("seed %d shards %d: engine fired %d, clock fired %d",
+					seed, shards, len(got), len(want))
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Logf("seed %d shards %d: divergence at %d: engine=%d clock=%d",
+						seed, shards, i, got[i], want[i])
+					return false
+				}
+			}
+			if e.Dispatched() != ref.Dispatched() {
+				t.Logf("seed %d shards %d: dispatched %d vs %d",
+					seed, shards, e.Dispatched(), ref.Dispatched())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lane routing: At/After inside a callback land on the dispatching lane,
+// while AtOn crosses lanes and is counted as cross-shard traffic.
+func TestEngineLaneRouting(t *testing.T) {
+	e := NewEngine(4)
+	var sawLane int = -1
+	e.AtOn(2, 100, func() {
+		// Default routing: this post must stay on lane 2.
+		e.After(50, func() { sawLane = e.curLane })
+	})
+	for e.Step() {
+	}
+	if sawLane != 2 {
+		t.Fatalf("callback ran on lane %d, want 2", sawLane)
+	}
+	if e.CrossPosts() != 1 { // only the top-level AtOn(2) from lane 0
+		t.Fatalf("crossPosts = %d, want 1", e.CrossPosts())
+	}
+}
+
+// Cancel must route through the handle's packed lane bits, and handles must
+// go stale once their slot is reused — same contract as the serial clock.
+func TestEngineCancelAcrossLanes(t *testing.T) {
+	e := NewEngine(4)
+	fired := 0
+	ev := e.AtOn(3, 500, func() { fired++ })
+	keep := e.AtOn(1, 100, func() { fired++ })
+	if !e.Cancel(ev) {
+		t.Fatal("cancel of pending cross-lane event failed")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double cancel succeeded")
+	}
+	// Reuse lane 3's slot; the stale handle must not cancel the newcomer.
+	ev2 := e.AtOn(3, 600, func() { fired++ })
+	if e.Cancel(ev) {
+		t.Fatal("stale handle cancelled a reused slot")
+	}
+	_ = keep
+	for e.Step() {
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	_ = ev2
+}
+
+// The merge observer runs at barriers, not per dispatch: it must observe at
+// least once per lookahead window that contained events, and never before
+// the first dispatch (the checker would audit a pre-initial state).
+func TestEngineObserverAtBarrierMerge(t *testing.T) {
+	e := NewEngine(2)
+	e.SetLookahead(10 * Microsecond)
+	var audits int
+	var auditedAt []Time
+	e.SetObserver(func() {
+		audits++
+		auditedAt = append(auditedAt, e.Now())
+	})
+	for i := 0; i < 100; i++ {
+		e.AtOn(i%2, Time(i)*Microsecond, func() {})
+	}
+	for e.Step() {
+	}
+	if audits == 0 {
+		t.Fatal("observer never ran")
+	}
+	if got, want := uint64(audits), e.Dispatched(); got >= want {
+		t.Fatalf("observer ran %d times for %d events; barrier merge should batch audits", got, want)
+	}
+	if e.Barriers() == 0 {
+		t.Fatal("no barriers crossed")
+	}
+	for i := 1; i < len(auditedAt); i++ {
+		if auditedAt[i] < auditedAt[i-1] {
+			t.Fatalf("audit times went backwards: %v after %v", auditedAt[i], auditedAt[i-1])
+		}
+	}
+}
+
+// Satellite regression test: Drain must return every live node — pending,
+// mid-wheel, and overflow alike — to the free list so a pooled lane can be
+// recycled without leaking store slots.
+func TestClockDrainReturnsAllNodes(t *testing.T) {
+	c := NewClock()
+	var evs []Event
+	for i := 0; i < 200; i++ {
+		at := Time(i * 100)
+		if i%3 == 0 {
+			at += 100 * Millisecond // land in overflow
+		}
+		evs = append(evs, c.At(at, func() {}))
+	}
+	for i := 0; i < 50; i++ {
+		c.Cancel(evs[i*4])
+	}
+	for i := 0; i < 30; i++ {
+		c.Step()
+	}
+	live := c.Pending()
+	if live == 0 {
+		t.Fatal("test needs pending events to drain")
+	}
+	if got := c.Drain(); got != live {
+		t.Fatalf("Drain() = %d, want %d", got, live)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Drain", c.Pending())
+	}
+	if c.StoreFree() != c.StoreSize() {
+		t.Fatalf("store leak: StoreFree %d != StoreSize %d after Drain",
+			c.StoreFree(), c.StoreSize())
+	}
+	// Stale handles from before the drain must be inert.
+	for _, ev := range evs {
+		if c.Cancel(ev) {
+			t.Fatal("stale pre-drain handle cancelled something")
+		}
+	}
+}
+
+// Reset must rewind a clock for reuse while keeping its pooled slab, and a
+// reset clock must replay a workload bit-identically to a fresh one.
+func TestClockResetReplaysFresh(t *testing.T) {
+	workload := func(c *Clock) []Time {
+		var fired []Time
+		for i := 0; i < 64; i++ {
+			c.At(Time(i*37%640), func() { fired = append(fired, c.Now()) })
+		}
+		for c.Step() {
+		}
+		return fired
+	}
+	fresh := NewClock()
+	want := workload(fresh)
+
+	used := NewClock()
+	for i := 0; i < 100; i++ {
+		used.At(Time(i)*Millisecond, func() {})
+	}
+	for i := 0; i < 40; i++ {
+		used.Step()
+	}
+	used.Reset()
+	if used.StoreFree() != used.StoreSize() {
+		t.Fatalf("store leak after Reset: free %d size %d", used.StoreFree(), used.StoreSize())
+	}
+	if used.Now() != 0 || used.Dispatched() != 0 {
+		t.Fatalf("Reset left now=%v dispatched=%d", used.Now(), used.Dispatched())
+	}
+	got := workload(used)
+	if len(got) != len(want) {
+		t.Fatalf("reset clock fired %d, fresh fired %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("divergence at %d: reset=%v fresh=%v", i, got[i], want[i])
+		}
+	}
+}
+
+// Engine.Reset must recycle every lane and replay identically.
+func TestEngineResetReplaysFresh(t *testing.T) {
+	workload := func(e *Engine) (uint64, uint64) {
+		for i := 0; i < 300; i++ {
+			e.AtOn(i%e.Lanes(), Time(i*13%4000), func() {})
+		}
+		for e.Step() {
+		}
+		return e.Dispatched(), e.Barriers()
+	}
+	fresh := NewEngine(4)
+	wantD, wantB := workload(fresh)
+
+	used := NewEngine(4)
+	workload(used)
+	used.Reset()
+	if used.StoreFree() != used.StoreSize() {
+		t.Fatalf("store leak after engine Reset: free %d size %d", used.StoreFree(), used.StoreSize())
+	}
+	gotD, gotB := workload(used)
+	if gotD != wantD || gotB != wantB {
+		t.Fatalf("reset engine replay: dispatched %d barriers %d, want %d %d",
+			gotD, gotB, wantD, wantB)
+	}
+}
+
+// Forced-parallel maintenance under the race detector: a heavy overflow
+// backlog (past the parBacklog gate) makes every barrier fan out lane
+// workers, and the dispatch order must match a serial-maintenance twin.
+func TestEngineParallelMaintenanceRace(t *testing.T) {
+	run := func(parallel bool) []Time {
+		e := NewEngine(8)
+		e.SetParallel(parallel)
+		e.SetLookahead(Microsecond)
+		var fired []Time
+		// A long self-rearming tick per lane plus a deep overflow ladder
+		// keeps >256 heap entries alive across many barriers.
+		for l := 0; l < 8; l++ {
+			lane := l
+			var tick func()
+			n := 0
+			tick = func() {
+				fired = append(fired, e.Now())
+				if n++; n < 200 {
+					e.AfterOn(lane, 3*Microsecond, tick)
+				}
+			}
+			e.AtOn(lane, Time(lane), tick)
+			for i := 0; i < 64; i++ {
+				e.AtOn(lane, Time(1+i)*Millisecond, func() { fired = append(fired, e.Now()) })
+			}
+		}
+		for e.Step() {
+		}
+		return fired
+	}
+	serial := run(false)
+	par := run(true)
+	if len(serial) != len(par) {
+		t.Fatalf("parallel maintenance changed event count: %d vs %d", len(par), len(serial))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("parallel maintenance diverged at %d: %v vs %v", i, par[i], serial[i])
+		}
+	}
+}
+
+// The cost model must show the sharded dispatch path doing strictly less
+// modeled work per event than the serial loop on a multi-stream workload —
+// the algorithmic basis of the engine.events_per_sec gate. Both cores run
+// through Run, the path every machine simulation takes: the serial loop
+// pays a peek scan plus a take scan per event, while the engine pays one
+// scan (the winner's head refresh) plus a k-way argmin.
+func TestEngineOverheadBeatsSerial(t *testing.T) {
+	load := func(core EventCore, streams int) {
+		for i := 0; i < streams; i++ {
+			lane := i % core.Lanes()
+			var tick func()
+			n := 0
+			tick = func() {
+				if n++; n < 500 {
+					core.AfterOn(lane, 10*Microsecond, tick)
+				}
+			}
+			core.AtOn(lane, Time(i), tick)
+		}
+		core.Run(Infinity)
+	}
+	c := NewClock()
+	load(c, 48)
+	e := NewEngine(4)
+	load(e, 48)
+	if c.Dispatched() != e.Dispatched() {
+		t.Fatalf("dispatch counts differ: %d vs %d", c.Dispatched(), e.Dispatched())
+	}
+	if e.OverheadNs() >= c.OverheadNs() {
+		t.Fatalf("engine overhead %dns not below serial %dns for %d events",
+			e.OverheadNs(), c.OverheadNs(), e.Dispatched())
+	}
+}
+
+func TestEngineGuards(t *testing.T) {
+	e := NewEngine(2)
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("past schedule", func() {
+		e.AtOn(0, 100, func() {})
+		e.Step()
+		e.AtOn(0, 50, func() {})
+	})
+	expectPanic("bad lane", func() { e.AtOn(7, e.Now()+1, func() {}) })
+	expectPanic("negative delay", func() { e.After(-1, func() {}) })
+	expectPanic("zero lookahead", func() { e.SetLookahead(0) })
+	expectPanic("zero lanes", func() { NewEngine(0) })
+	expectPanic("too many lanes", func() { NewEngine(MaxLanes + 1) })
+	if e.Cancel(Event{}) {
+		t.Fatal("cancel of zero handle succeeded")
+	}
+}
+
+// benchEngine mirrors BenchmarkClockTimerWheel's workload — per-core
+// 100 kHz rearming tick streams plus a jittered cancel-heavy oneshot —
+// spread across the engine's lanes.
+func benchEngine(b *testing.B, shards int) {
+	e := NewEngine(shards)
+	for i := 0; i < benchStreams; i++ {
+		lane := i % shards
+		var fire func()
+		fire = func() { e.AfterOn(lane, benchPeriod, fire) }
+		e.AtOn(lane, Time(i), fire)
+	}
+	var oneshot Event
+	n := 0
+	rearmCancel := func() {}
+	rearmCancel = func() {
+		if n++; n%4 == 0 {
+			e.Cancel(oneshot)
+		}
+		oneshot = e.After(benchPeriod/2+Time(n%64), rearmCancel)
+	}
+	e.After(1, rearmCancel)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkEngineShards1(b *testing.B) { benchEngine(b, 1) }
+func BenchmarkEngineShards2(b *testing.B) { benchEngine(b, 2) }
+func BenchmarkEngineShards4(b *testing.B) { benchEngine(b, 4) }
+func BenchmarkEngineShards8(b *testing.B) { benchEngine(b, 8) }
