@@ -8,7 +8,7 @@ GO ?= go
 # allocation regressions in the event core, the observability smoke, and
 # the benchmark regression gate against the committed BENCH_skyloft.json.
 .PHONY: check
-check: vet build lint race bench-smoke trace-smoke bench-gate chaos
+check: vet build lint race bench-smoke trace-smoke live-smoke bench-gate chaos
 
 .PHONY: vet
 vet:
@@ -73,6 +73,33 @@ trace-smoke:
 	grep -q '"windows"' $$tmp/doctor.json && \
 	grep -q '"findings"' $$tmp/doctor.json && \
 	echo "trace-smoke OK"
+
+# Live-telemetry smoke (DESIGN.md §12): stream a short run's snapshots over
+# NDJSON at shard counts 0 and 4 and require the printed stream hash to be
+# identical (the published stream is simulation state, not host topology);
+# render the stream once through cmd/skyloft-top; then run the flight probe
+# on the straggler-core fault plan and validate the recorder's post-mortem
+# bundle — the trace slice passes cmd/tracecheck with fault instants, the
+# metrics snapshot passes cmd/metricscheck, and the manifest names the live
+# starvation finding that triggered the dump.
+.PHONY: live-smoke
+live-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf $$tmp' EXIT && \
+	$(GO) run ./cmd/skyloft-trace -dur 2ms -n 0 -shards 0 \
+		-live-out $$tmp/serial.ndjson > $$tmp/serial.txt && \
+	$(GO) run ./cmd/skyloft-trace -dur 2ms -n 0 -shards 4 \
+		-live-out $$tmp/sharded.ndjson > $$tmp/sharded.txt && \
+	grep -o 'stream [0-9a-f]*' $$tmp/serial.txt > $$tmp/h-serial && \
+	grep -o 'stream [0-9a-f]*' $$tmp/sharded.txt > $$tmp/h-sharded && \
+	test -s $$tmp/h-serial && cmp $$tmp/h-serial $$tmp/h-sharded && \
+	$(GO) run ./cmd/skyloft-top -in $$tmp/serial.ndjson -once \
+		| grep -q 'window #' && \
+	$(GO) run ./cmd/skyloft-bench -chaos straggler-core -seed 1 \
+		-flight-dir $$tmp/flight > $$tmp/flight.txt && \
+	$(GO) run ./cmd/tracecheck -cpus 4 -faults 1 $$tmp/flight/trace.json && \
+	$(GO) run ./cmd/metricscheck $$tmp/flight/metrics.json && \
+	grep -q '"reason": "live finding: starvation"' $$tmp/flight/manifest.json && \
+	echo "live-smoke OK"
 
 # Regenerate the committed machine-readable benchmark report (quick sweep,
 # seed 1 — the configuration bench-gate compares against). Run this, review

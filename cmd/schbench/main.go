@@ -7,13 +7,16 @@
 // -trace-out exports it as Perfetto JSON, -metrics-out snapshots the metrics
 // registry, -doctor-out writes the sched-doctor diagnosis as JSON, and
 // -occupancy prints per-core busy/idle/kernel shares. Every *-out flag
-// accepts "-" for stdout.
+// accepts "-" for stdout. The live flags (-live-out, -live-window,
+// -live-http, -flight-dir) stream that companion run's telemetry while it
+// executes — see cmd/skyloft-top.
 //
 // Usage:
 //
 //	schbench [-fig 5|6] [-reqs N] [-seed S] [-csv] [-shards N] \
 //	         [-trace-out trace.json] [-metrics-out metrics.json] \
-//	         [-doctor-out doctor.json] [-occupancy]
+//	         [-doctor-out doctor.json] [-occupancy] \
+//	         [-live-out live.ndjson] [-live-http 127.0.0.1:7077]
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"skyloft/internal/bench"
 	"skyloft/internal/obs"
 	"skyloft/internal/obs/doctor"
+	"skyloft/internal/obs/live"
 	"skyloft/internal/simtime"
 	"skyloft/internal/stats"
 )
@@ -68,7 +72,32 @@ func main() {
 	}
 
 	if of.Active() {
-		run := bench.ObservedRun(*seed, 20*simtime.Millisecond, of.Occupancy)
+		var sess *live.Session
+		run := bench.ObservedRunOpts(*seed, 20*simtime.Millisecond, bench.ObserveOpts{
+			Profile: of.Occupancy,
+			PreRun: func(h bench.RunHooks) {
+				var err error
+				sess, err = live.FromFlags(of, live.Config{}, live.Source{
+					Clock:    h.Clock,
+					Ring:     h.Ring,
+					Registry: h.Registry,
+					Profiler: h.Profiler,
+					AppNames: h.AppNames,
+					Workers:  h.Workers,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			},
+		})
+		if sess != nil {
+			if err := sess.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(sess.Summary())
+		}
 		if err := run.Spans.Validate(); err != nil {
 			fmt.Fprintf(os.Stderr, "SPAN VIOLATION: %v\n", err)
 			os.Exit(1)

@@ -13,6 +13,14 @@
 // tables and produces just the report, which is what `make bench-json`
 // runs. -doctor-out writes the instrumented run's sched-doctor diagnosis.
 //
+// The live flags (-live-out, -live-window, -live-http, -flight-dir) stream
+// the instrumented companion run's telemetry while it executes. Combined
+// with -chaos and a single plan name, they switch the chaos path to the
+// flight probe: one faulted run with the telemetry bus and flight recorder
+// attached, dumping a post-mortem bundle (trace slice + window stats +
+// metrics) into -flight-dir when a pathology detector or the invariant
+// checker fires.
+//
 // Usage:
 //
 //	skyloft-bench [-quick] [-seed 1] [-shards N] [-report-out BENCH_skyloft.json] [-report-only]
@@ -28,8 +36,33 @@ import (
 	"skyloft/internal/bench"
 	"skyloft/internal/obs"
 	"skyloft/internal/obs/doctor"
+	"skyloft/internal/obs/live"
 	"skyloft/internal/simtime"
 )
+
+// runFlight runs one preset chaos plan with the live telemetry bus and
+// flight recorder attached (bench.FlightProbe) instead of the full gate:
+// the path `skyloft-bench -chaos straggler-core -flight-dir DIR` takes to
+// produce a post-mortem bundle on demand.
+func runFlight(plan string, seed uint64, of *obs.Flags) {
+	res, sess, err := bench.FlightProbe(plan, seed, 0, of)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := sess.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("flight probe: plan %s seed %d (%v, %s)\n", res.Plan, res.Seed, bench.ChaosDuration, res.Mode)
+	fmt.Printf("injected=%d wd-rec=%d p99.9=%.1fµ violations=%d\n",
+		res.Injected.Total(), res.Recovery.WatchdogRecoveries, res.WakeP999Us, res.Violations)
+	fmt.Println(sess.Summary())
+	if rec := sess.Bus.Recorder(); rec != nil && rec.Dumps() == 0 {
+		fmt.Fprintf(os.Stderr, "flight probe: recorder armed but never triggered (plan %s)\n", plan)
+		os.Exit(1)
+	}
+}
 
 // runChaos executes the chaos gate (plan = a preset name, or "all") and
 // prints the per-plan report: injection counts, the hardening layer's
@@ -137,6 +170,10 @@ func main() {
 	bench.SetShards(*shards)
 
 	if *chaos != "" {
+		if *chaos != "all" && of.LiveActive() {
+			runFlight(*chaos, *seed, of)
+			return
+		}
 		runChaos(*chaos, *seed, *chaosTraceOut)
 		return
 	}
@@ -172,7 +209,32 @@ func main() {
 	if *quick {
 		obsDur = 10 * simtime.Millisecond
 	}
-	run := bench.ObservedRun(*seed, obsDur, of.Occupancy)
+	var sess *live.Session
+	run := bench.ObservedRunOpts(*seed, obsDur, bench.ObserveOpts{
+		Profile: of.Occupancy,
+		PreRun: func(h bench.RunHooks) {
+			var err error
+			sess, err = live.FromFlags(of, live.Config{}, live.Source{
+				Clock:    h.Clock,
+				Ring:     h.Ring,
+				Registry: h.Registry,
+				Profiler: h.Profiler,
+				AppNames: h.AppNames,
+				Workers:  h.Workers,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		},
+	})
+	if sess != nil {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(sess.Summary())
+	}
 	if err := run.Spans.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "SPAN VIOLATION: %v\n", err)
 		os.Exit(1)

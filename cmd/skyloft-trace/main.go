@@ -12,11 +12,18 @@
 // shares sampled on the virtual clock. Every *-out flag accepts "-" for
 // stdout.
 //
+// The live telemetry flags stream the run while it executes: -live-out
+// writes one NDJSON snapshot per virtual-time window ("-" for stdout),
+// -live-http serves /snapshot and /history for cmd/skyloft-top, and
+// -flight-dir arms the flight recorder's post-mortem bundle dump.
+//
 // Usage:
 //
 //	skyloft-trace [-n 40] [-dur 5ms] [-threads 8] [-shards N] \
 //	              [-trace-out trace.json] [-metrics-out metrics.json] \
-//	              [-doctor-out doctor.json] [-occupancy]
+//	              [-doctor-out doctor.json] [-occupancy] \
+//	              [-live-out live.ndjson] [-live-window 1ms] \
+//	              [-live-http 127.0.0.1:7077] [-flight-dir DIR]
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"skyloft/internal/hw"
 	"skyloft/internal/obs"
 	"skyloft/internal/obs/doctor"
+	"skyloft/internal/obs/live"
 	"skyloft/internal/policy/mlfq"
 	"skyloft/internal/sched"
 	"skyloft/internal/simtime"
@@ -84,7 +92,26 @@ func main() {
 			}
 		})
 	}
+	sess, err := live.FromFlags(of, live.Config{}, live.Source{
+		Clock:    machine.Clock,
+		Ring:     tr,
+		Registry: &reg,
+		Profiler: prof,
+		AppNames: engine.AppNames(),
+		Workers:  engine.Workers(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	engine.Run(simtime.Duration(dur.Nanoseconds()))
+	if sess != nil {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(sess.Summary())
+	}
 
 	events := tr.Events()
 	if err := trace.Validate(events); err != nil {

@@ -65,7 +65,11 @@ type ChaosResult struct {
 // chaosRun executes the workload once. plan nil runs the clean twin:
 // identical engine configuration (hardening on, checker attached), no
 // injector. cfgName selects the engine configuration even when plan is nil.
-func chaosRun(cfgName string, plan *faults.Plan, seed uint64, dur simtime.Duration) (*ChaosResult, error) {
+// attach, when non-nil, runs just before the virtual run starts with the
+// instrumented surfaces and the invariant checker — the flight probe wires
+// the live bus and the checker's violation trigger there.
+func chaosRun(cfgName string, plan *faults.Plan, seed uint64, dur simtime.Duration,
+	attach func(RunHooks, *faults.InvariantChecker)) (*ChaosResult, error) {
 	m := newMachine()
 	tr := trace.New(1 << 16)
 
@@ -145,6 +149,15 @@ func chaosRun(cfgName string, plan *faults.Plan, seed uint64, dur simtime.Durati
 			}
 		})
 	}
+	if attach != nil {
+		attach(RunHooks{
+			Clock:    m.Clock,
+			Ring:     tr,
+			Registry: reg,
+			AppNames: e.AppNames(),
+			Workers:  e.Workers(),
+		}, checker)
+	}
 	e.Run(simtime.Time(dur))
 
 	events := tr.Events()
@@ -195,11 +208,11 @@ func RunChaos(name string, seed uint64, dur simtime.Duration) (*ChaosResult, err
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown chaos plan %q (have %v)", name, faults.PresetNames())
 	}
-	res, err := chaosRun(name, plan, seed, dur)
+	res, err := chaosRun(name, plan, seed, dur, nil)
 	if err != nil {
 		return nil, err
 	}
-	clean, err := chaosRun(name, nil, seed, dur)
+	clean, err := chaosRun(name, nil, seed, dur, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -61,11 +61,11 @@ func TestChaosDeterministicReplay(t *testing.T) {
 // injector) must itself be deterministic, and the always-on invariant
 // checker must audit every dispatched event without ever firing.
 func TestChaosNilPlanUnperturbed(t *testing.T) {
-	a, err := chaosRun("timer-drift", nil, 3, 2*simtime.Millisecond)
+	a, err := chaosRun("timer-drift", nil, 3, 2*simtime.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := chaosRun("timer-drift", nil, 3, 2*simtime.Millisecond)
+	b, err := chaosRun("timer-drift", nil, 3, 2*simtime.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -47,6 +47,13 @@ func DefaultDiffConfig() DiffConfig {
 			// or compare per event shifts events_per_sec well past 10%)
 			// while letting workload-driven event-count drift land.
 			"engine.": {Rel: 0.10, Abs: 0.5},
+			// live.* gauges the telemetry bus's own footprint. The hard
+			// ceiling (overhead_pct <= 5) is enforced in BuildReport; the
+			// drift band only flags a bus that suddenly schedules more
+			// boundary events per run. overhead_pct sits near 0.01%, so the
+			// absolute floor dominates: movement beyond one tenth of a
+			// percentage point means the publishing cadence changed.
+			"live.": {Rel: 0.5, Abs: 0.1},
 		},
 	}
 }

@@ -101,9 +101,10 @@ func TestEngineDifferentialFig7(t *testing.T) {
 
 // The report's engine probe feeds the regression gate: the sharded engine
 // must dispatch the same events as the serial clock and beat it on modeled
-// events/sec for the 48-core Fig. 7 run.
+// events/sec for the 48-core Fig. 7 run. The live-bus twin must cost no
+// more than the 5% overhead ceiling and publish a full window sequence.
 func TestEngineProbeBeatsSerial(t *testing.T) {
-	serial, sharded := engineProbe(1)
+	serial, sharded, live := engineProbe(1)
 	if serial.dispatched != sharded.dispatched {
 		t.Fatalf("probe dispatch counts differ: serial %d, sharded %d",
 			serial.dispatched, sharded.dispatched)
@@ -111,5 +112,16 @@ func TestEngineProbeBeatsSerial(t *testing.T) {
 	if sharded.eventsPerSec <= serial.eventsPerSec {
 		t.Fatalf("sharded engine %f events/s does not beat serial %f",
 			sharded.eventsPerSec, serial.eventsPerSec)
+	}
+	if live.dispatched < sharded.dispatched {
+		t.Fatalf("bus-attached run dispatched fewer events (%d) than bare (%d)",
+			live.dispatched, sharded.dispatched)
+	}
+	extra := float64(live.dispatched-sharded.dispatched) / float64(sharded.dispatched)
+	if extra > 0.05 {
+		t.Fatalf("live bus overhead %.2f%% exceeds the 5%% ceiling", 100*extra)
+	}
+	if live.liveWindows == 0 {
+		t.Fatal("bus-attached probe published no windows")
 	}
 }

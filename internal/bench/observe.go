@@ -24,11 +24,37 @@ type Observed struct {
 	Workers  int
 }
 
+// RunHooks is the instrumented run's attach surface, handed to
+// ObserveOpts.PreRun after the engine, registry and workloads are built but
+// before the run starts — the point where attach-only consumers (the live
+// telemetry bus) wire themselves in.
+type RunHooks struct {
+	Clock    simtime.EventCore
+	Ring     *trace.Ring
+	Registry *obs.Registry
+	Profiler *obs.Profiler
+	AppNames []string
+	Workers  int
+}
+
+// ObserveOpts tunes ObservedRunOpts.
+type ObserveOpts struct {
+	// Profile attaches the occupancy profiler.
+	Profile bool
+	// PreRun, when non-nil, runs just before the virtual run starts.
+	PreRun func(h RunHooks)
+}
+
 // ObservedRun executes a preemption-heavy two-application workload (a
 // latency-critical app against a batch co-runner on a small partition) with
 // the tracer, the metrics registry and — when profile is set — the occupancy
 // profiler attached, then stitches the trace into spans.
 func ObservedRun(seed uint64, dur simtime.Duration, profile bool) *Observed {
+	return ObservedRunOpts(seed, dur, ObserveOpts{Profile: profile})
+}
+
+// ObservedRunOpts is ObservedRun with an attach hook.
+func ObservedRunOpts(seed uint64, dur simtime.Duration, opts ObserveOpts) *Observed {
 	m := newMachine()
 	tr := trace.New(1 << 16)
 	e := core.New(core.Config{
@@ -43,7 +69,7 @@ func ObservedRun(seed uint64, dur simtime.Duration, profile bool) *Observed {
 	reg := &obs.Registry{}
 	e.RegisterMetrics(reg)
 	var prof *obs.Profiler
-	if profile {
+	if opts.Profile {
 		prof = e.NewOccupancyProfiler(0)
 		prof.Start()
 	}
@@ -68,6 +94,16 @@ func ObservedRun(seed uint64, dur simtime.Duration, profile bool) *Observed {
 					env.Yield()
 				}
 			}
+		})
+	}
+	if opts.PreRun != nil {
+		opts.PreRun(RunHooks{
+			Clock:    m.Clock,
+			Ring:     tr,
+			Registry: reg,
+			Profiler: prof,
+			AppNames: e.AppNames(),
+			Workers:  e.Workers(),
 		})
 	}
 	e.Run(simtime.Time(dur))

@@ -11,7 +11,9 @@ import (
 	"skyloft/internal/hw"
 	"skyloft/internal/obs"
 	"skyloft/internal/obs/doctor"
+	"skyloft/internal/obs/live"
 	"skyloft/internal/simtime"
+	"skyloft/internal/trace"
 )
 
 // BenchReportVersion identifies the BENCH_skyloft.json schema; benchdiff
@@ -126,12 +128,28 @@ func BuildReport(seed uint64, quick bool) *BenchReport {
 	// it divides the dispatched-event count by the event core's *modeled*
 	// bookkeeping time (scan/compare operation counts at fixed ns costs),
 	// not wall time — so the speedup is regression-gated like any metric.
-	serialProbe, shardedProbe := engineProbe(seed)
+	serialProbe, shardedProbe, liveProbe := engineProbe(seed)
 	r.Metrics["engine.shards"] = float64(shardedProbe.shards)
 	r.Metrics["engine.events_per_sec"] = shardedProbe.eventsPerSec
 	r.Metrics["engine.events_per_sec_serial"] = serialProbe.eventsPerSec
 	r.Metrics["engine.speedup"] = shardedProbe.eventsPerSec / serialProbe.eventsPerSec
 	r.Metrics["engine.dispatched"] = float64(shardedProbe.dispatched)
+	// Engine self-profile sentinels (PR 7): how evenly dispatch work spreads
+	// across lanes and how deep the overflow backlog gets — the two numbers
+	// cluster mode will use to pick shard boundaries, pinned against drift.
+	r.Metrics["engine.lane_util_max_share"] = shardedProbe.laneMaxShare
+	r.Metrics["engine.lane_backlog_hw"] = shardedProbe.laneBacklogHW
+	// Live-bus cost on the same probe: extra dispatched events (boundary
+	// ticks) as a percentage of the base run. The bus is attach-only, so
+	// this is its *entire* modeled footprint; the 5%% acceptance bound is
+	// enforced loudly here and regression-gated via benchdiff.
+	overheadPct := 100 * float64(liveProbe.dispatched-shardedProbe.dispatched) /
+		float64(shardedProbe.dispatched)
+	if overheadPct > 5 {
+		panic(fmt.Sprintf("bench: live bus overhead %.2f%% exceeds the 5%% bound", overheadPct))
+	}
+	r.Metrics["live.overhead_pct"] = overheadPct
+	r.Metrics["live.windows"] = liveProbe.liveWindows
 
 	// Table 6: delivery cost per preemption mechanism (cycles).
 	for _, row := range Table6() {
@@ -173,45 +191,73 @@ const engineProbeShards = 4
 
 // engineProbeResult is one event core's throughput measurement.
 type engineProbeResult struct {
-	shards       int
-	dispatched   uint64
-	eventsPerSec float64
+	shards        int
+	dispatched    uint64
+	eventsPerSec  float64
+	laneMaxShare  float64 // busiest lane's share of dispatched events
+	laneBacklogHW float64 // deepest overflow backlog across lanes
+	liveWindows   float64 // snapshots published (bus-attached run only)
 }
 
-// engineProbe runs the 48-core Fig. 7a quick load point twice — serial
-// clock, then a sharded engine — and reports each core's modeled event
-// throughput. The two runs must dispatch identical event counts: they are
-// the same simulation by the engine's determinism contract, and a mismatch
-// is a correctness bug worth dying loudly over.
-func engineProbe(seed uint64) (serial, sharded engineProbeResult) {
-	run := func(shards int) engineProbeResult {
+// engineProbe runs the 48-core Fig. 7a quick load point three times —
+// serial clock, sharded engine, and the sharded engine with the live
+// telemetry bus attached — and reports each core's modeled event
+// throughput plus the sharded run's lane self-profile. The serial and
+// sharded runs must dispatch identical event counts: they are the same
+// simulation by the engine's determinism contract, and a mismatch is a
+// correctness bug worth dying loudly over. The bus-attached run dispatches
+// strictly more (its boundary ticks); the delta is the bus's overhead.
+func engineProbe(seed uint64) (serial, sharded, shardedLive engineProbeResult) {
+	run := func(shards int, withBus bool) engineProbeResult {
 		cfg := hw.DefaultConfig() // all 48 cores
 		cfg.Shards = shards
 		m := hw.NewMachine(cfg)
+		var bus *live.Bus
+		var tr *trace.Ring
+		if withBus {
+			tr = trace.New(1 << 16)
+			bus = live.Attach(live.Config{}, live.Source{Clock: m.Clock, Ring: tr})
+		}
 		load := 0.8 * Capacity(Fig7Workers, server.DispersiveClasses())
 		RunSynthetic(SynthConfig{
 			System: SynthSkyloft, Rate: load,
 			Duration: 30 * simtime.Millisecond, Warmup: 30 * simtime.Millisecond,
-			Seed: seed, machine: m,
+			Seed: seed, machine: m, tr: tr,
 		})
 		dispatched := m.Clock.Dispatched()
 		overhead := m.Clock.OverheadNs()
 		if overhead == 0 {
 			panic("bench: engine probe ran no events")
 		}
-		return engineProbeResult{
+		res := engineProbeResult{
 			shards:       m.Lanes(),
 			dispatched:   dispatched,
 			eventsPerSec: float64(dispatched) / float64(overhead) * 1e9,
 		}
+		if bus != nil {
+			bus.Close()
+			res.liveWindows = float64(bus.Windows())
+		}
+		if eng, ok := m.Clock.(*simtime.Engine); ok {
+			for _, l := range eng.LaneStats() {
+				if share := float64(l.Dispatched) / float64(dispatched); share > res.laneMaxShare {
+					res.laneMaxShare = share
+				}
+				if bhw := float64(l.BacklogHW); bhw > res.laneBacklogHW {
+					res.laneBacklogHW = bhw
+				}
+			}
+		}
+		return res
 	}
-	serial = run(0)
-	sharded = run(engineProbeShards)
+	serial = run(0, false)
+	sharded = run(engineProbeShards, false)
 	if serial.dispatched != sharded.dispatched {
 		panic(fmt.Sprintf("bench: engine probe dispatch divergence: serial %d, %d-shard %d",
 			serial.dispatched, engineProbeShards, sharded.dispatched))
 	}
-	return serial, sharded
+	shardedLive = run(engineProbeShards, true)
+	return serial, sharded, shardedLive
 }
 
 // WriteJSON writes the report as indented JSON; output is byte-stable for

@@ -13,6 +13,7 @@ import (
 	"skyloft/internal/hw"
 	"skyloft/internal/obs"
 	"skyloft/internal/obs/doctor"
+	"skyloft/internal/obs/live"
 	"skyloft/internal/policy/rr"
 	"skyloft/internal/sched"
 	"skyloft/internal/simtime"
@@ -20,20 +21,27 @@ import (
 )
 
 // obsScenario is one run of the shared workload: the trace hash, the
-// stitched spans, and — when instrumented — the occupancy report and the
+// stitched spans, and — when instrumented — the occupancy report, the
 // sched-doctor diagnosis (run with windowed telemetry before the hash is
-// taken, so the hash witnesses that the doctor touched nothing).
+// taken, so the hash witnesses that the doctor touched nothing), plus the
+// live bus's stream hash, window count and flight-recorder trigger count.
 type obsScenario struct {
-	hash   uint64
-	spans  *obs.SpanSet
-	occ    []obs.CoreOccupancy
-	report *doctor.Report
+	hash    uint64
+	spans   *obs.SpanSet
+	occ     []obs.CoreOccupancy
+	report  *doctor.Report
+	stream  uint64
+	windows int
 }
 
 // runObsScenario runs a mixed two-app workload with the full observability
-// stack attached (when instrument is true).
-func runObsScenario(seed uint64, instrument bool) obsScenario {
-	m := hw.NewMachine(hw.DefaultConfig())
+// stack attached (when instrument is true): registry, occupancy profiler,
+// live telemetry bus with an armed (count-only) flight recorder, and the
+// post-hoc doctor. shards 0 runs the serial clock, N the sharded engine.
+func runObsScenario(seed uint64, shards int, instrument bool) obsScenario {
+	hwCfg := hw.DefaultConfig()
+	hwCfg.Shards = shards
+	m := hw.NewMachine(hwCfg)
 	tr := trace.New(1 << 14)
 	cfg := core.Config{
 		Machine: m, Trace: tr, Seed: seed,
@@ -46,11 +54,19 @@ func runObsScenario(seed uint64, instrument bool) obsScenario {
 	defer e.Shutdown()
 
 	var prof *obs.Profiler
+	var bus *live.Bus
 	if instrument {
 		var reg obs.Registry
 		e.RegisterMetrics(&reg)
 		prof = e.NewOccupancyProfiler(2 * simtime.Microsecond)
 		prof.Start()
+		bus = live.Attach(live.Config{
+			Window:   500 * simtime.Microsecond,
+			Recorder: &live.Recorder{}, // armed, count-only (no Dir)
+		}, live.Source{
+			Clock: m.Clock, Ring: tr, Registry: &reg, Profiler: prof,
+			AppNames: e.AppNames(), Workers: e.Workers(),
+		})
 	}
 
 	for ai := 0; ai < 2; ai++ {
@@ -76,6 +92,11 @@ func runObsScenario(seed uint64, instrument bool) obsScenario {
 	ss := obs.BuildSpans(events)
 	out := obsScenario{spans: ss}
 	if instrument {
+		if err := bus.Close(); err != nil {
+			panic(err)
+		}
+		out.stream = bus.StreamHash()
+		out.windows = bus.Windows()
 		out.occ = prof.Report()
 		// Run the full doctor — windowed telemetry, attribution, detectors —
 		// before reading the trace hash: if the doctor were anything but a
@@ -94,8 +115,8 @@ func runObsScenario(seed uint64, instrument bool) obsScenario {
 // must yield byte-identical span sets and identical per-app wakeup-latency
 // histograms.
 func TestSpanDeterminism(t *testing.T) {
-	ss1 := runObsScenario(3, false).spans
-	ss2 := runObsScenario(3, false).spans
+	ss1 := runObsScenario(3, 0, false).spans
+	ss2 := runObsScenario(3, 0, false).spans
 	if err := ss1.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -120,44 +141,64 @@ func TestSpanDeterminism(t *testing.T) {
 }
 
 // TestObservabilityDoesNotPerturb attaches the registry, the occupancy
-// profiler, the sched-doctor and its windowed sampler, and requires the
-// trace and span hashes to match the uninstrumented run — observability
-// must be invisible to the scheduler.
+// profiler, the live telemetry bus with an armed flight recorder, the
+// sched-doctor and its windowed sampler, and requires the trace and span
+// hashes to match the uninstrumented run — observability must be invisible
+// to the scheduler. It pins this at shard counts 0 (serial clock) and 4
+// (sharded engine), and additionally requires the live stream hash to be
+// identical across the two shard counts: the published snapshot stream is
+// simulation state, not host topology.
 func TestObservabilityDoesNotPerturb(t *testing.T) {
-	bare := runObsScenario(9, false)
-	inst := runObsScenario(9, true)
-	if bare.hash != inst.hash {
-		t.Fatalf("instrumentation perturbed the trace: %#x vs %#x", bare.hash, inst.hash)
-	}
-	if bare.spans.Hash() != inst.spans.Hash() {
-		t.Fatalf("instrumentation perturbed the spans: %#x vs %#x",
-			bare.spans.Hash(), inst.spans.Hash())
-	}
-	if len(inst.occ) != 3 {
-		t.Fatalf("occupancy report covers %d cores, want 3", len(inst.occ))
-	}
-	for _, c := range inst.occ {
-		if c.Samples == 0 {
-			t.Fatalf("cpu %d never sampled", c.CPU)
+	var streams []obsScenario
+	for _, shards := range []int{0, 4} {
+		bare := runObsScenario(9, shards, false)
+		inst := runObsScenario(9, shards, true)
+		if bare.hash != inst.hash {
+			t.Fatalf("shards=%d: instrumentation perturbed the trace: %#x vs %#x",
+				shards, bare.hash, inst.hash)
 		}
-		sum := c.Idle + c.Kernel
-		for _, a := range c.Apps {
-			sum += a
+		if bare.spans.Hash() != inst.spans.Hash() {
+			t.Fatalf("shards=%d: instrumentation perturbed the spans: %#x vs %#x",
+				shards, bare.spans.Hash(), inst.spans.Hash())
 		}
-		if sum < 0.999 || sum > 1.001 {
-			t.Fatalf("cpu %d shares sum to %v", c.CPU, sum)
+		if inst.windows == 0 {
+			t.Fatalf("shards=%d: live bus published no windows", shards)
 		}
+		if len(inst.occ) != 3 {
+			t.Fatalf("shards=%d: occupancy report covers %d cores, want 3", shards, len(inst.occ))
+		}
+		for _, c := range inst.occ {
+			if c.Samples == 0 {
+				t.Fatalf("shards=%d: cpu %d never sampled", shards, c.CPU)
+			}
+			sum := c.Idle + c.Kernel
+			for _, a := range c.Apps {
+				sum += a
+			}
+			if sum < 0.999 || sum > 1.001 {
+				t.Fatalf("shards=%d: cpu %d shares sum to %v", shards, c.CPU, sum)
+			}
+		}
+		if inst.report == nil || len(inst.report.Windows) == 0 || inst.report.Spans == 0 {
+			t.Fatalf("shards=%d: doctor produced no diagnosis: %+v", shards, inst.report)
+		}
+		streams = append(streams, inst)
 	}
-	if inst.report == nil || len(inst.report.Windows) == 0 || inst.report.Spans == 0 {
-		t.Fatalf("doctor produced no diagnosis: %+v", inst.report)
+	if streams[0].stream != streams[1].stream {
+		t.Fatalf("live stream hash differs across shard counts: serial %#x vs sharded %#x",
+			streams[0].stream, streams[1].stream)
+	}
+	if streams[0].windows != streams[1].windows {
+		t.Fatalf("live window count differs across shard counts: %d vs %d",
+			streams[0].windows, streams[1].windows)
 	}
 }
 
 // TestDoctorReportDeterminism: two seeded instrumented runs must produce
 // byte-identical doctor JSON — the property BENCH_skyloft.json inherits.
 func TestDoctorReportDeterminism(t *testing.T) {
-	r1 := runObsScenario(11, true).report
-	r2 := runObsScenario(11, true).report
+	r1 := runObsScenario(11, 0, true).report
+	r2 := runObsScenario(11, 0, true).report
 	var j1, j2 bytes.Buffer
 	if err := r1.WriteJSON(&j1); err != nil {
 		t.Fatal(err)

@@ -47,6 +47,12 @@ type InvariantChecker struct {
 	s      SchedState
 	Budget simtime.Duration
 
+	// OnViolation, when non-nil, runs synchronously on every violation with
+	// the formatted message (including ones past the retained-message cap).
+	// It is a read-only notification hook — the flight recorder uses it to
+	// trigger a post-mortem dump at the exact event that broke an invariant.
+	OnViolation func(msg string)
+
 	checks     uint64
 	count      uint64
 	violations []string
@@ -84,9 +90,12 @@ func (ic *InvariantChecker) Violations() []string { return ic.violations }
 
 func (ic *InvariantChecker) violate(format string, args ...any) {
 	ic.count++
+	msg := fmt.Sprintf("t=%v: ", ic.s.Now()) + fmt.Sprintf(format, args...)
 	if len(ic.violations) < maxViolations {
-		ic.violations = append(ic.violations,
-			fmt.Sprintf("t=%v: ", ic.s.Now())+fmt.Sprintf(format, args...))
+		ic.violations = append(ic.violations, msg)
+	}
+	if ic.OnViolation != nil {
+		ic.OnViolation(msg)
 	}
 }
 

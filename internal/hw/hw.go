@@ -209,6 +209,27 @@ func (m *Machine) RegisterMetrics(r *obs.Registry) {
 		r.CounterFunc("engine.barriers", e.Barriers)
 		r.CounterFunc("engine.cross_posts", e.CrossPosts)
 		r.CounterFunc("engine.near_posts", e.NearPosts)
+		// Lane self-profile aggregates (full per-lane detail travels in the
+		// live bus's engine section): the busiest lane's dispatch count and
+		// the deepest overflow backlog any lane ever reached.
+		r.CounterFunc("engine.lane_dispatched_max", func() uint64 {
+			var max uint64
+			for _, l := range e.LaneStats() {
+				if l.Dispatched > max {
+					max = l.Dispatched
+				}
+			}
+			return max
+		})
+		r.CounterFunc("engine.lane_backlog_hw", func() uint64 {
+			var max uint64
+			for _, l := range e.LaneStats() {
+				if uint64(l.BacklogHW) > max {
+					max = uint64(l.BacklogHW)
+				}
+			}
+			return max
+		})
 	}
 }
 

@@ -86,6 +86,21 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportSuppressedf records a finding at pos that the analyzer itself has
+// already sanctioned (a built-in, reasoned exception narrower than the file
+// allowlist). The finding stays in the raw diagnostic stream — the driver's
+// -show-suppressed view and the suppression-accounting tests see it — but
+// never gates the build.
+func (p *Pass) ReportSuppressedf(pos token.Pos, reason, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer:   p.Analyzer.Name,
+		Pos:        p.Fset.Position(pos),
+		Message:    fmt.Sprintf(format, args...),
+		Suppressed: true,
+		Reason:     reason,
+	})
+}
+
 // All returns the full simlint suite in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{Wallclock, GlobalRand, MapOrder, GoSpawn, SelectOrder, DurationLit}

@@ -67,6 +67,50 @@ func TestGoSpawnLaneWorkerAccounting(t *testing.T) {
 	}
 }
 
+// TestGoSpawnLiveSanctions loads the live-bus fixture under the sanctioned
+// package path: the named callees (writeLoop, serve) are suppressed by the
+// per-callee sanction table, while a bare helper spawn and a function
+// literal in the same file are still findings.
+func TestGoSpawnLiveSanctions(t *testing.T) {
+	linttest.Run(t, "testdata/src/gospawnlive", "skyloft/internal/obs/live", lint.GoSpawn)
+}
+
+// TestGoSpawnLiveSanctionsAccounting checks the sanctioned spawns stay in
+// the raw diagnostic stream, marked suppressed with the table's reason.
+func TestGoSpawnLiveSanctionsAccounting(t *testing.T) {
+	pkg := linttest.Load(t, "testdata/src/gospawnlive", "skyloft/internal/obs/live")
+	var suppressed []lint.Diagnostic
+	for _, d := range lint.Run(pkg, []*lint.Analyzer{lint.GoSpawn}) {
+		if d.Suppressed {
+			suppressed = append(suppressed, d)
+		}
+	}
+	if len(suppressed) != 2 {
+		t.Fatalf("suppressed findings = %d, want 2: %v", len(suppressed), suppressed)
+	}
+	for _, d := range suppressed {
+		if d.Reason == "" {
+			t.Errorf("sanctioned finding carries no reason: %s", d)
+		}
+	}
+}
+
+// TestGoSpawnLiveSanctionsElsewhere loads the identical fixture under a
+// different deterministic package path: the sanction is keyed by package,
+// so all four spawns must be plain unsuppressed findings there.
+func TestGoSpawnLiveSanctionsElsewhere(t *testing.T) {
+	pkg := linttest.Load(t, "testdata/src/gospawnlive", "skyloft/internal/core/gospawnlivefixture")
+	diags := lint.Run(pkg, []*lint.Analyzer{lint.GoSpawn})
+	if got := len(lint.Unsuppressed(diags)); got != 4 {
+		t.Errorf("unsuppressed findings = %d, want 4 (sanctions must not apply outside obs/live): %v", got, diags)
+	}
+	for _, d := range diags {
+		if d.Suppressed {
+			t.Errorf("finding suppressed outside the sanctioned package: %s", d)
+		}
+	}
+}
+
 func TestSelectOrder(t *testing.T) {
 	linttest.Run(t, "testdata/src/selectorder", "skyloft/internal/uintrsim/selectorderfixture", lint.SelectOrder)
 }

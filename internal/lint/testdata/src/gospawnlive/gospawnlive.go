@@ -1,0 +1,32 @@
+// Package gospawnlive exercises the gospawn per-callee sanction table: the
+// live telemetry bus's publisher goroutine (writeLoop) and HTTP accept loop
+// (serve) are sanctioned when the fixture is loaded under
+// skyloft/internal/obs/live, while any other goroutine in the same package
+// — even the same file — is still a finding. Loaded under any other path,
+// all four spawns are findings (see TestGoSpawnLiveSanctionsElsewhere).
+package gospawnlive
+
+type bus struct{ ch chan []byte }
+
+func (b *bus) writeLoop() {
+	for range b.ch {
+	}
+}
+
+type server struct{ done chan struct{} }
+
+func (s *server) serve() { close(s.done) }
+
+func helper() {}
+
+func attach(b *bus, s *server) {
+	go b.writeLoop() // sanctioned: the named publisher callee
+	go s.serve()     // sanctioned: the named HTTP-server callee
+}
+
+func bad(b *bus) {
+	go helper() // want `bare goroutine in a deterministic package`
+	go func() { // want `bare goroutine in a deterministic package`
+		b.writeLoop() // calling a sanctioned callee from a literal is not sanctioned
+	}()
+}

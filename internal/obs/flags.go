@@ -5,19 +5,29 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"skyloft/internal/trace"
 )
 
 // Flags is the standard observability flag set shared by the cmds
 // (skyloft-trace, skyloft-bench, schbench): -trace-out, -metrics-out,
-// -doctor-out and -occupancy. Bind before flag.Parse. Every *-out flag
-// accepts "-" for stdout.
+// -doctor-out, -occupancy, plus the live-telemetry trio -live-out,
+// -live-window, -live-http and the flight recorder's -flight-dir. Bind
+// before flag.Parse. Every *-out flag accepts "-" for stdout.
 type Flags struct {
 	TraceOut   string
 	MetricsOut string
 	DoctorOut  string
 	Occupancy  bool
+
+	// Live telemetry bus (internal/obs/live): NDJSON stream destination,
+	// snapshot window width, HTTP endpoint address, and the flight
+	// recorder's post-mortem bundle directory.
+	LiveOut    string
+	LiveWindow time.Duration
+	LiveHTTP   string
+	FlightDir  string
 }
 
 // BindFlags registers the observability flags on the default CommandLine
@@ -28,12 +38,21 @@ func BindFlags() *Flags {
 	flag.StringVar(&f.MetricsOut, "metrics-out", "", "write a metrics-registry snapshot as JSON (\"-\" for stdout)")
 	flag.StringVar(&f.DoctorOut, "doctor-out", "", "write the sched-doctor diagnosis as JSON (\"-\" for stdout)")
 	flag.BoolVar(&f.Occupancy, "occupancy", false, "print the per-core occupancy profile")
+	flag.StringVar(&f.LiveOut, "live-out", "", "stream live telemetry snapshots as NDJSON (\"-\" for stdout)")
+	flag.DurationVar(&f.LiveWindow, "live-window", 0, "live snapshot window width in virtual time (default 1ms)")
+	flag.StringVar(&f.LiveHTTP, "live-http", "", "serve live snapshots over HTTP on this address (e.g. 127.0.0.1:7077)")
+	flag.StringVar(&f.FlightDir, "flight-dir", "", "flight recorder: dump a post-mortem bundle into this directory when a detector fires")
 	return f
 }
 
 // Active reports whether any observability output was requested.
 func (f *Flags) Active() bool {
-	return f.TraceOut != "" || f.MetricsOut != "" || f.DoctorOut != "" || f.Occupancy
+	return f.TraceOut != "" || f.MetricsOut != "" || f.DoctorOut != "" || f.Occupancy || f.LiveActive()
+}
+
+// LiveActive reports whether the live telemetry bus should attach.
+func (f *Flags) LiveActive() bool {
+	return f.LiveOut != "" || f.LiveHTTP != "" || f.FlightDir != ""
 }
 
 // nopWriteCloser keeps stdout open when a *-out flag is "-": the emit
@@ -43,14 +62,17 @@ type nopWriteCloser struct{ io.Writer }
 
 func (nopWriteCloser) Close() error { return nil }
 
-// openOut opens an output destination: "-" means stdout (not closed),
-// anything else is created as a file.
-func openOut(path string) (io.WriteCloser, error) {
+// OpenOut opens an output destination: "-" means stdout (returned with a
+// no-op Close), anything else is created as a file. Exported for the
+// subpackages that honour the same convention (obs/live).
+func OpenOut(path string) (io.WriteCloser, error) {
 	if path == "-" {
 		return nopWriteCloser{os.Stdout}, nil
 	}
 	return os.Create(path)
 }
+
+func openOut(path string) (io.WriteCloser, error) { return OpenOut(path) }
 
 // EmitTrace writes the event window as trace_event JSON to the -trace-out
 // path (no-op when unset).

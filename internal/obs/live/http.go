@@ -1,0 +1,91 @@
+package live
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// Server serves the bus's published snapshots over plain stdlib net/http:
+//
+//	GET /snapshot          latest snapshot as JSON (404 before the first)
+//	GET /history[?since=N] retained snapshots with Seq > N as NDJSON
+//
+// The handlers only read the bus's mutex-guarded history ring — published
+// snapshots are immutable — so the server goroutines never touch simulation
+// state and the sim thread never blocks on a slow client.
+type Server struct {
+	bus  *Bus
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+	err  error
+}
+
+// Serve starts an HTTP endpoint on addr (host:port; port 0 picks a free
+// one — read the result from Addr). Close the server before reading err.
+func (b *Bus) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{bus: b, ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/history", s.handleHistory)
+	s.srv = &http.Server{Handler: mux}
+	go s.serve()
+	return s, nil
+}
+
+// serve runs the accept loop until Close. Host-side service goroutine: it
+// observes published snapshots through the bus mutex and nothing else.
+func (s *Server) serve() {
+	defer close(s.done)
+	if err := s.srv.Serve(s.ln); err != nil && err != http.ErrServerClosed {
+		s.err = err
+	}
+}
+
+// Addr reports the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down and reports its terminal error, if any.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	if s.err != nil {
+		return s.err
+	}
+	return err
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
+	snap, ok := s.bus.Latest()
+	if !ok {
+		http.Error(w, "no snapshot published yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&snap)
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, req *http.Request) {
+	since := -1
+	if v := req.URL.Query().Get("since"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			http.Error(w, "bad since", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, snap := range s.bus.History(since) {
+		if err := enc.Encode(&snap); err != nil {
+			return
+		}
+	}
+}

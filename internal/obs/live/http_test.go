@@ -1,0 +1,159 @@
+package live_test
+
+// The HTTP surface is the bus's only concurrently-read state: /snapshot and
+// /history serve the mutex-guarded history ring while the simulation thread
+// publishes into it. This test tails both endpoints from a background
+// goroutine for the whole run — under `go test -race` (make race) it is the
+// witness that the live server and the publisher share no unsynchronised
+// state.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"skyloft/internal/core"
+	"skyloft/internal/cycles"
+	"skyloft/internal/hw"
+	"skyloft/internal/obs"
+	"skyloft/internal/obs/live"
+	"skyloft/internal/policy/rr"
+	"skyloft/internal/sched"
+	"skyloft/internal/simtime"
+	"skyloft/internal/trace"
+)
+
+func TestHTTPTailDuringRun(t *testing.T) {
+	m := hw.NewMachine(hw.DefaultConfig())
+	tr := trace.New(1 << 14)
+	e := core.New(core.Config{
+		Machine: m, Trace: tr, Seed: 3,
+		CPUs: []int{0, 1}, Mode: core.PerCPU,
+		Policy:    rr.New(25 * simtime.Microsecond),
+		TimerMode: core.TimerLAPIC, TimerHz: 100_000,
+		Costs: core.SkyloftCosts(cycles.Default()),
+	})
+	defer e.Shutdown()
+
+	var reg obs.Registry
+	e.RegisterMetrics(&reg)
+	bus := live.Attach(live.Config{Window: 100 * simtime.Microsecond}, live.Source{
+		Clock: m.Clock, Ring: tr, Registry: &reg,
+		AppNames: e.AppNames(), Workers: e.Workers(),
+	})
+	srv, err := bus.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	base := "http://" + srv.Addr()
+
+	app := e.NewApp("app")
+	for i := 0; i < 8; i++ {
+		app.Start("w", func(env sched.Env) {
+			for {
+				env.Run(simtime.Duration(3+env.Rand().Intn(30)) * simtime.Microsecond)
+				env.Sleep(simtime.Duration(1+env.Rand().Intn(10)) * simtime.Microsecond)
+			}
+		})
+	}
+
+	// Tail both endpoints as fast as the client can while the sim runs.
+	var stop atomic.Bool
+	var polled, got atomic.Uint64
+	done := make(chan error, 1)
+	go func() {
+		since := -1
+		for !stop.Load() {
+			polled.Add(1)
+			snap, ok, err := getSnapshot(base + "/snapshot")
+			if err != nil {
+				done <- err
+				return
+			}
+			if ok {
+				got.Add(1)
+				if snap.Seq < since {
+					done <- fmt.Errorf("snapshot seq went backwards: %d after %d", snap.Seq, since)
+					return
+				}
+			}
+			hist, err := getHistory(fmt.Sprintf("%s/history?since=%d", base, since))
+			if err != nil {
+				done <- err
+				return
+			}
+			for _, s := range hist {
+				if s.Seq <= since {
+					done <- fmt.Errorf("history returned seq %d with since=%d", s.Seq, since)
+					return
+				}
+				since = s.Seq
+			}
+		}
+		done <- nil
+	}()
+
+	e.Run(20 * simtime.Millisecond)
+	stop.Store(true)
+	if err := <-done; err != nil {
+		t.Fatalf("tailer: %v", err)
+	}
+	if err := bus.Close(); err != nil {
+		t.Fatalf("bus close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+
+	if bus.Windows() == 0 {
+		t.Fatal("no windows published")
+	}
+	t.Logf("tailer polled %d times, saw %d snapshots of %d windows", polled.Load(), got.Load(), bus.Windows())
+
+	// After close the endpoints are gone but the history ring stays readable.
+	if len(bus.History(-1)) == 0 {
+		t.Fatal("history ring empty after close")
+	}
+}
+
+func getSnapshot(url string) (live.Snapshot, bool, error) {
+	var snap live.Snapshot
+	resp, err := http.Get(url)
+	if err != nil {
+		return snap, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return snap, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return snap, false, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, err == nil, err
+}
+
+func getHistory(url string) ([]live.Snapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var out []live.Snapshot
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var s live.Snapshot
+		if err := dec.Decode(&s); err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

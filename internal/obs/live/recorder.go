@@ -1,0 +1,179 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"skyloft/internal/obs"
+	"skyloft/internal/obs/doctor"
+	"skyloft/internal/simtime"
+	"skyloft/internal/trace"
+)
+
+// DefaultRetain is the flight-recorder window retention when Retain is 0.
+const DefaultRetain = 8
+
+// Recorder is the flight recorder: a bounded ring of the last K published
+// windows at full event fidelity, plus the current partial window. When a
+// trigger fires — a live pathology finding, or an external detector such as
+// faults.InvariantChecker via Bus.Trigger — it dumps a post-mortem bundle
+// into Dir:
+//
+//	trace.json    Perfetto trace_event slice of the retained windows
+//	              (validated by cmd/tracecheck)
+//	metrics.json  metrics-registry snapshot at trigger time
+//	              (validated by cmd/metricscheck)
+//	manifest.json trigger reason + virtual time, the retained windows'
+//	              stats and findings, and bundle inventory
+//
+// Retention is bounded (K windows of events), so the recorder's memory is
+// O(K · events-per-window) regardless of run length — the black-box model:
+// always on, cheap, and only materialised on failure.
+type Recorder struct {
+	// Retain is how many closed windows of events to keep (default 8).
+	Retain int
+	// Dir is the bundle directory. Empty: triggers are counted but nothing
+	// is written (perturbation tests use this).
+	Dir string
+	// MaxDumps bounds how many triggers materialise a bundle (default 1 —
+	// the first failure is the interesting one; later triggers are usually
+	// its echo). Additional dumps land in Dir-2, Dir-3, ...
+	MaxDumps int
+
+	src      Source
+	wins     []recWindow
+	cur      []trace.Event
+	triggers uint64
+	dumps    int
+	err      error
+}
+
+type recWindow struct {
+	Stats    doctor.WindowStats `json:"window"`
+	Findings []doctor.Finding   `json:"findings,omitempty"`
+	events   []trace.Event
+}
+
+// manifest is the bundle's machine-readable index.
+type manifest struct {
+	Reason   string       `json:"reason"`
+	At       simtime.Time `json:"at_ns"`
+	Trigger  uint64       `json:"trigger"`
+	Events   int          `json:"events"`
+	Windows  []recWindow  `json:"windows"`
+	AppNames []string     `json:"app_names,omitempty"`
+}
+
+func (r *Recorder) attach(b *Bus) {
+	if r.Retain <= 0 {
+		r.Retain = DefaultRetain
+	}
+	if r.MaxDumps <= 0 {
+		r.MaxDumps = 1
+	}
+	r.src = b.src
+}
+
+// record buffers one event into the current partial window.
+func (r *Recorder) record(ev trace.Event) {
+	r.cur = append(r.cur, ev)
+}
+
+// roll seals the current partial window under the just-published snapshot's
+// stats and evicts beyond the retention bound.
+func (r *Recorder) roll(snap Snapshot) {
+	w := recWindow{Stats: snap.Window, Findings: snap.Findings}
+	if len(r.cur) > 0 {
+		w.events = append([]trace.Event(nil), r.cur...)
+		r.cur = r.cur[:0]
+	}
+	r.wins = append(r.wins, w)
+	if len(r.wins) > r.Retain {
+		copy(r.wins, r.wins[1:])
+		r.wins = r.wins[:len(r.wins)-1]
+	}
+}
+
+// Trigger counts a trigger and, within the MaxDumps budget, dumps the
+// bundle. Safe to call from detector hooks running inside event callbacks:
+// it only reads recorder state and writes host-side files.
+func (r *Recorder) Trigger(reason string) {
+	r.triggers++
+	if r.dumps >= r.MaxDumps {
+		return
+	}
+	r.dumps++
+	if r.Dir == "" {
+		return
+	}
+	dir := r.Dir
+	if r.dumps > 1 {
+		dir = fmt.Sprintf("%s-%d", r.Dir, r.dumps)
+	}
+	if err := r.dump(dir, reason); err != nil && r.err == nil {
+		r.err = err
+	}
+}
+
+// Triggers reports how many times the recorder fired.
+func (r *Recorder) Triggers() uint64 { return r.triggers }
+
+// Dumps reports how many bundles were materialised.
+func (r *Recorder) Dumps() int { return r.dumps }
+
+// Err reports the first bundle-write error.
+func (r *Recorder) Err() error { return r.err }
+
+func (r *Recorder) dump(dir, reason string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var events []trace.Event
+	for _, w := range r.wins {
+		events = append(events, w.events...)
+	}
+	events = append(events, r.cur...)
+
+	src := r.src
+	if err := writeFile(filepath.Join(dir, "trace.json"), func(f *os.File) error {
+		return obs.WritePerfetto(f, events, obs.ExportConfig{
+			NumCPUs: src.Workers, AppNames: src.AppNames, Instants: true,
+		})
+	}); err != nil {
+		return err
+	}
+	if src.Registry != nil {
+		if err := writeFile(filepath.Join(dir, "metrics.json"), func(f *os.File) error {
+			return src.Registry.WriteJSON(f)
+		}); err != nil {
+			return err
+		}
+	}
+	m := manifest{
+		Reason:   reason,
+		At:       src.Clock.Now(),
+		Trigger:  r.triggers,
+		Events:   len(events),
+		Windows:  r.wins,
+		AppNames: src.AppNames,
+	}
+	return writeFile(filepath.Join(dir, "manifest.json"), func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&m)
+	})
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -73,93 +73,136 @@ type taskStitch struct {
 	lastEndValid bool
 }
 
+// Stitcher folds a chronological event stream into lifecycle spans one
+// event at a time. It is the incremental form of BuildSpans: feeding the
+// same events in the same order produces the identical SpanSet, but
+// streaming consumers (the live telemetry bus) can take spans as they close
+// instead of waiting for the run to end.
+type Stitcher struct {
+	ss    SpanSet
+	tasks map[int]*taskStitch
+	taken int // spans already handed out by TakeClosed
+}
+
+// NewStitcher returns an empty stitcher.
+func NewStitcher() *Stitcher {
+	return &Stitcher{tasks: map[int]*taskStitch{}}
+}
+
+func (sp *Stitcher) get(id int) *taskStitch {
+	st := sp.tasks[id]
+	if st == nil {
+		st = &taskStitch{}
+		sp.tasks[id] = st
+	}
+	return st
+}
+
+// Feed folds one event into the stitching state. Events must arrive in
+// recorded order.
+func (sp *Stitcher) Feed(ev trace.Event) {
+	ss := &sp.ss
+	switch ev.Kind {
+	case trace.Wake:
+		st := sp.get(ev.Task)
+		if st.open {
+			// Context loss (truncated window): abandon the half-seen
+			// episode rather than fabricating segments.
+			ss.Orphans++
+			st.open = false
+		}
+		st.span = Span{Task: ev.Task, App: ev.App, Wake: ev.At, WakeKnown: true}
+		if st.lastEndValid {
+			st.span.Blocked = simtime.Duration(ev.At - st.lastEnd)
+		}
+		st.open = true
+		st.running = false
+		st.readySince = ev.At
+	case trace.Dispatch:
+		st := sp.get(ev.Task)
+		if !st.open {
+			// Newly submitted task (no Wake precedes the first
+			// dispatch) or truncated history: open an episode with an
+			// unknown wake instant.
+			st.span = Span{Task: ev.Task, App: ev.App, Wake: ev.At}
+			st.open = true
+		}
+		if st.running {
+			ss.Orphans++ // double dispatch: corrupt window
+			return
+		}
+		st.span.Dispatches++
+		if st.span.Dispatches == 1 {
+			st.span.FirstDispatch = ev.At
+		} else {
+			st.span.Preempted += simtime.Duration(ev.At - st.readySince)
+		}
+		st.running = true
+		st.onSince = ev.At
+	case trace.Preempt, trace.Yield:
+		st := sp.get(ev.Task)
+		if !st.open || !st.running {
+			ss.Orphans++
+			return
+		}
+		st.span.Run += simtime.Duration(ev.At - st.onSince)
+		st.running = false
+		st.readySince = ev.At
+	case trace.Block, trace.Sleep, trace.Exit:
+		st := sp.get(ev.Task)
+		if !st.open || !st.running {
+			ss.Orphans++
+			return
+		}
+		st.span.Run += simtime.Duration(ev.At - st.onSince)
+		st.span.End = ev.At
+		st.span.EndKind = ev.Kind
+		ss.Spans = append(ss.Spans, st.span)
+		st.open = false
+		st.running = false
+		st.lastEnd = ev.At
+		st.lastEndValid = ev.Kind != trace.Exit
+	case trace.Steal, trace.AppSwitch, trace.Fault:
+		// Steal moves the queued task between runqueues (still
+		// Preempted time); AppSwitch is core-scoped; Fault holds the
+		// core, so its stall stays inside the running segment.
+	}
+}
+
+// TakeClosed returns the spans that closed since the previous TakeClosed
+// call, in close order. The returned slice aliases the stitcher's backing
+// array and stays valid (spans are append-only).
+func (sp *Stitcher) TakeClosed() []Span {
+	out := sp.ss.Spans[sp.taken:]
+	sp.taken = len(sp.ss.Spans)
+	return out
+}
+
+// Closed reports how many spans have closed so far.
+func (sp *Stitcher) Closed() int { return len(sp.ss.Spans) }
+
+// Result finalises the stitch: episodes still open become Incomplete, and
+// the accumulated SpanSet is returned. The stitcher can keep feeding after
+// Result; a later Result recounts the then-open episodes.
+func (sp *Stitcher) Result() *SpanSet {
+	sp.ss.Incomplete = 0
+	for _, st := range sp.tasks {
+		if st.open {
+			sp.ss.Incomplete++
+		}
+	}
+	return &sp.ss
+}
+
 // BuildSpans stitches a chronological event window into lifecycle spans.
 // The input is exactly what trace.Ring retains — no extra instrumentation
 // is consulted, so identical event streams yield identical span sets.
 func BuildSpans(events []trace.Event) *SpanSet {
-	ss := &SpanSet{}
-	tasks := map[int]*taskStitch{}
-	get := func(id int) *taskStitch {
-		st := tasks[id]
-		if st == nil {
-			st = &taskStitch{}
-			tasks[id] = st
-		}
-		return st
-	}
+	sp := NewStitcher()
 	for _, ev := range events {
-		switch ev.Kind {
-		case trace.Wake:
-			st := get(ev.Task)
-			if st.open {
-				// Context loss (truncated window): abandon the half-seen
-				// episode rather than fabricating segments.
-				ss.Orphans++
-				st.open = false
-			}
-			st.span = Span{Task: ev.Task, App: ev.App, Wake: ev.At, WakeKnown: true}
-			if st.lastEndValid {
-				st.span.Blocked = simtime.Duration(ev.At - st.lastEnd)
-			}
-			st.open = true
-			st.running = false
-			st.readySince = ev.At
-		case trace.Dispatch:
-			st := get(ev.Task)
-			if !st.open {
-				// Newly submitted task (no Wake precedes the first
-				// dispatch) or truncated history: open an episode with an
-				// unknown wake instant.
-				st.span = Span{Task: ev.Task, App: ev.App, Wake: ev.At}
-				st.open = true
-			}
-			if st.running {
-				ss.Orphans++ // double dispatch: corrupt window
-				continue
-			}
-			st.span.Dispatches++
-			if st.span.Dispatches == 1 {
-				st.span.FirstDispatch = ev.At
-			} else {
-				st.span.Preempted += simtime.Duration(ev.At - st.readySince)
-			}
-			st.running = true
-			st.onSince = ev.At
-		case trace.Preempt, trace.Yield:
-			st := get(ev.Task)
-			if !st.open || !st.running {
-				ss.Orphans++
-				continue
-			}
-			st.span.Run += simtime.Duration(ev.At - st.onSince)
-			st.running = false
-			st.readySince = ev.At
-		case trace.Block, trace.Sleep, trace.Exit:
-			st := get(ev.Task)
-			if !st.open || !st.running {
-				ss.Orphans++
-				continue
-			}
-			st.span.Run += simtime.Duration(ev.At - st.onSince)
-			st.span.End = ev.At
-			st.span.EndKind = ev.Kind
-			ss.Spans = append(ss.Spans, st.span)
-			st.open = false
-			st.running = false
-			st.lastEnd = ev.At
-			st.lastEndValid = ev.Kind != trace.Exit
-		case trace.Steal, trace.AppSwitch, trace.Fault:
-			// Steal moves the queued task between runqueues (still
-			// Preempted time); AppSwitch is core-scoped; Fault holds the
-			// core, so its stall stays inside the running segment.
-		}
+		sp.Feed(ev)
 	}
-	for _, st := range tasks {
-		if st.open {
-			ss.Incomplete++
-		}
-	}
-	return ss
+	return sp.Result()
 }
 
 // Validate checks the span set's internal accounting identities: segment

@@ -75,6 +75,16 @@ type Engine struct {
 	nearPosts  uint64 // cross-lane posts inside the current safe window
 	argCmp     uint64 // argmin compares (cost model, see OverheadNs)
 
+	// Per-lane self-profiling (LaneStats): dispatch counts, barrier-phase
+	// overflow migration, and the overflow-backlog high-water mark. All
+	// counters are either coordinator-serial (laneEvents, laneBacklogHW) or
+	// touch only the owning lane's index (laneMigrated under parMaintain),
+	// so they are race-free and cost one increment on paths that already
+	// mutate lane state.
+	laneEvents    []uint64
+	laneMigrated  []uint64
+	laneBacklogHW []int
+
 	parallel bool // spawn lane workers for barrier maintenance
 }
 
@@ -86,12 +96,15 @@ func NewEngine(lanes int) *Engine {
 		panic(fmt.Sprintf("simtime: engine lanes %d outside [1, %d]", lanes, MaxLanes))
 	}
 	e := &Engine{
-		lookahead: DefaultLookahead,
-		lanes:     make([]*Clock, lanes),
-		headID:    make([]uint32, lanes),
-		headAt:    make([]Time, lanes),
-		headSeq:   make([]uint64, lanes),
-		parallel:  lanes > 1 && runtime.GOMAXPROCS(0) > 1,
+		lookahead:     DefaultLookahead,
+		lanes:         make([]*Clock, lanes),
+		headID:        make([]uint32, lanes),
+		headAt:        make([]Time, lanes),
+		headSeq:       make([]uint64, lanes),
+		laneEvents:    make([]uint64, lanes),
+		laneMigrated:  make([]uint64, lanes),
+		laneBacklogHW: make([]int, lanes),
+		parallel:      lanes > 1 && runtime.GOMAXPROCS(0) > 1,
 	}
 	for i := range e.lanes {
 		e.lanes[i] = NewClock()
@@ -187,6 +200,9 @@ func (e *Engine) Reset() {
 		e.headID[i] = 0
 		e.headAt[i] = Infinity
 		e.headSeq[i] = 0
+		e.laneEvents[i] = 0
+		e.laneMigrated[i] = 0
+		e.laneBacklogHW[i] = 0
 	}
 	e.now = 0
 	e.seq = 0
@@ -244,6 +260,9 @@ func (e *Engine) AtOn(lane int, at Time, fn func()) Event {
 	ev := c.schedule(at, fn, e.seq)
 	if ev.idx > laneMask {
 		panic(fmt.Sprintf("simtime: lane %d store exceeds %d pending events", lane, laneMask))
+	}
+	if n := len(c.heap); n > e.laneBacklogHW[lane] {
+		e.laneBacklogHW[lane] = n
 	}
 	// Incremental head update: the new event's sequence is the global
 	// maximum, so it only displaces the cached head on a strictly earlier
@@ -330,6 +349,7 @@ func (e *Engine) step(l int) {
 	e.refreshHead(l)
 	e.now = at
 	e.nEvent++
+	e.laneEvents[l]++
 	prev := e.curLane
 	e.curLane = l
 	fn()
@@ -386,7 +406,9 @@ func (e *Engine) maintain(l int) {
 			c.baseTick = tick
 		}
 	}
+	before := len(c.heap)
 	c.migrate()
+	e.laneMigrated[l] += uint64(before - len(c.heap))
 }
 
 // Step dispatches the earliest pending event across all lanes, advancing
@@ -423,6 +445,39 @@ func (e *Engine) RunUntil(horizon Time, pred func() bool) bool {
 		e.step(l)
 	}
 	return true
+}
+
+// LaneStat is one lane's slice of the engine's self-profile. Every field is
+// derived from the deterministic event stream and the modeled cost
+// accounting, never the host clock, so lane profiles replay bit-identically.
+type LaneStat struct {
+	Lane       int    // lane index (core group)
+	Dispatched uint64 // events dispatched from this lane's queue
+	OverheadNs uint64 // modeled scan/compare ns attributed to this lane
+	Migrated   uint64 // overflow events pulled into the wheel at barriers
+	Pending    int    // events queued on this lane right now
+	Backlog    int    // overflow-heap depth right now (beyond the wheel window)
+	BacklogHW  int    // deepest overflow backlog ever observed on this lane
+}
+
+// LaneStats returns a fresh per-lane self-profile: where dispatch work and
+// modeled bookkeeping time went, how much barrier-phase migration each lane
+// performed (the stall attribution for the maintenance fan-out), and the
+// overflow-backlog depth that decides whether parMaintain engages.
+func (e *Engine) LaneStats() []LaneStat {
+	out := make([]LaneStat, len(e.lanes))
+	for l, c := range e.lanes {
+		out[l] = LaneStat{
+			Lane:       l,
+			Dispatched: e.laneEvents[l],
+			OverheadNs: c.OverheadNs(),
+			Migrated:   e.laneMigrated[l],
+			Pending:    c.Pending(),
+			Backlog:    len(c.heap),
+			BacklogHW:  e.laneBacklogHW[l],
+		}
+	}
+	return out
 }
 
 var _ EventCore = (*Engine)(nil)

@@ -131,7 +131,16 @@ type Ring struct {
 	total   uint64
 	hash    uint64
 	counts  [Inject + 1]uint64
+	tap     func(Event)
 }
+
+// SetTap installs fn to observe every event as it is recorded (nil removes
+// it). The tap runs synchronously inside Record, after the event has been
+// hashed and appended, so it sees the exact recorded stream — including
+// events the ring later evicts. Taps must not mutate simulation state: they
+// exist for attach-only consumers (the live telemetry bus) that fold the
+// stream incrementally instead of draining the ring post-hoc.
+func (r *Ring) SetTap(fn func(Event)) { r.tap = fn }
 
 // New creates a ring holding up to capacity events.
 func New(capacity int) *Ring {
@@ -172,11 +181,14 @@ func (r *Ring) Record(ev Event) {
 	r.hash = h
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, ev)
-		return
+	} else {
+		r.buf[r.next] = ev
+		r.next = (r.next + 1) % len(r.buf)
+		r.wrapped = true
 	}
-	r.buf[r.next] = ev
-	r.next = (r.next + 1) % len(r.buf)
-	r.wrapped = true
+	if r.tap != nil {
+		r.tap(ev)
+	}
 }
 
 // Total reports events recorded over the ring's lifetime.
