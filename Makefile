@@ -8,7 +8,7 @@ GO ?= go
 # allocation regressions in the event core, the observability smoke, and
 # the benchmark regression gate against the committed BENCH_skyloft.json.
 .PHONY: check
-check: vet build lint race bench-smoke trace-smoke live-smoke bench-gate chaos
+check: vet build lint race bench-smoke trace-smoke live-smoke causal-smoke bench-gate chaos
 
 .PHONY: vet
 vet:
@@ -100,6 +100,26 @@ live-smoke:
 	$(GO) run ./cmd/metricscheck $$tmp/flight/metrics.json && \
 	grep -q '"reason": "live finding: starvation"' $$tmp/flight/manifest.json && \
 	echo "live-smoke OK"
+
+# Causal-tracing smoke (DESIGN.md §13): run the Fig. 5 companion probe with
+# the per-request causal tracer attached, validate the Perfetto export's
+# flow arrows bind every journey point inside a CPU slice (tracecheck
+# -flows), require the printed exemplar table, and render the worst
+# exemplar's annotated timeline with cmd/skyloft-explain — the grep pins
+# the per-edge critical-path line that must sum to the sojourn.
+.PHONY: causal-smoke
+causal-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf $$tmp' EXIT && \
+	$(GO) run ./cmd/schbench -fig 5 -reqs 5 -seed 1 \
+		-causal-out $$tmp/causal.json -trace-out $$tmp/trace.json \
+		> $$tmp/out.txt && \
+	grep -q 'causal: .* journeys traced' $$tmp/out.txt && \
+	$(GO) run ./cmd/tracecheck -cpus 4 -flows 1 $$tmp/trace.json && \
+	$(GO) run ./cmd/skyloft-explain $$tmp/causal.json > $$tmp/explain.txt && \
+	grep -q 'critical path:' $$tmp/explain.txt && \
+	grep -q 'reply' $$tmp/explain.txt && \
+	$(GO) run ./cmd/skyloft-explain -list $$tmp/causal.json | grep -q 'sojourn=' && \
+	echo "causal-smoke OK"
 
 # Regenerate the committed machine-readable benchmark report (quick sweep,
 # seed 1 — the configuration bench-gate compares against). Run this, review

@@ -6,10 +6,11 @@
 // The observability flags run an instrumented companion workload alongside:
 // -trace-out exports it as Perfetto JSON, -metrics-out snapshots the metrics
 // registry, -doctor-out writes the sched-doctor diagnosis as JSON, and
-// -occupancy prints per-core busy/idle/kernel shares. Every *-out flag
-// accepts "-" for stdout. The live flags (-live-out, -live-window,
-// -live-http, -flight-dir) stream that companion run's telemetry while it
-// executes — see cmd/skyloft-top.
+// -occupancy prints per-core busy/idle/kernel shares, and -causal-out
+// writes the causal tracer's slow-episode exemplar document for
+// cmd/skyloft-explain. Every *-out flag accepts "-" for stdout. The live
+// flags (-live-out, -live-window, -live-http, -flight-dir) stream that
+// companion run's telemetry while it executes — see cmd/skyloft-top.
 //
 // Usage:
 //
@@ -75,6 +76,7 @@ func main() {
 		var sess *live.Session
 		run := bench.ObservedRunOpts(*seed, 20*simtime.Millisecond, bench.ObserveOpts{
 			Profile: of.Occupancy,
+			Causal:  true,
 			PreRun: func(h bench.RunHooks) {
 				var err error
 				sess, err = live.FromFlags(of, live.Config{}, live.Source{
@@ -84,6 +86,7 @@ func main() {
 					Profiler: h.Profiler,
 					AppNames: h.AppNames,
 					Workers:  h.Workers,
+					Causal:   h.Causal,
 				})
 				if err != nil {
 					fmt.Fprintln(os.Stderr, err)
@@ -106,9 +109,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if err := run.Causal.Report(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		if err := of.EmitTrace(run.Events, obs.ExportConfig{
 			NumCPUs: run.Workers, AppNames: run.AppNames, Instants: true,
+			Flows: run.Causal.FlowJourneys(),
 		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := of.EmitCausal(run.Causal); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

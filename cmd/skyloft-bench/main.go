@@ -13,6 +13,12 @@
 // tables and produces just the report, which is what `make bench-json`
 // runs. -doctor-out writes the instrumented run's sched-doctor diagnosis.
 //
+// The instrumented companion run always carries the causal tracer: its
+// slow-episode exemplars print next to the span summary (with per-edge
+// critical-path attribution), -causal-out writes the exemplar document for
+// cmd/skyloft-explain, and -trace-out links each exemplar's journey across
+// the CPU tracks with Perfetto flow arrows.
+//
 // The live flags (-live-out, -live-window, -live-http, -flight-dir) stream
 // the instrumented companion run's telemetry while it executes. Combined
 // with -chaos and a single plan name, they switch the chaos path to the
@@ -212,6 +218,7 @@ func main() {
 	var sess *live.Session
 	run := bench.ObservedRunOpts(*seed, obsDur, bench.ObserveOpts{
 		Profile: of.Occupancy,
+		Causal:  true,
 		PreRun: func(h bench.RunHooks) {
 			var err error
 			sess, err = live.FromFlags(of, live.Config{}, live.Source{
@@ -221,6 +228,7 @@ func main() {
 				Profiler: h.Profiler,
 				AppNames: h.AppNames,
 				Workers:  h.Workers,
+				Causal:   h.Causal,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -243,9 +251,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if err := run.Causal.Report(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if err := of.EmitTrace(run.Events, obs.ExportConfig{
 		NumCPUs: run.Workers, AppNames: run.AppNames, Instants: true,
+		Flows: run.Causal.FlowJourneys(),
 	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := of.EmitCausal(run.Causal); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -1,0 +1,70 @@
+// Command skyloft-explain renders the causal tracer's slow-request
+// exemplars as annotated timelines with per-edge critical-path
+// attribution. It reads the JSON document a -causal-out flag wrote
+// (schbench, skyloft-bench, skyloft-trace) or a flight-recorder bundle
+// directory (the exemplars.json the recorder dumps beside trace.json).
+//
+// With no -req it explains the worst retained exemplar; -req selects one
+// by request ID (the IDs printed in skyloft-bench's causal section and in
+// -list output); -list prints the one-line exemplar table instead.
+//
+// Usage:
+//
+//	skyloft-explain [-req ID] [-list] causal.json
+//	skyloft-explain /path/to/flight-bundle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"skyloft/internal/obs/causal"
+)
+
+func main() {
+	req := flag.Uint64("req", 0, "request ID to explain (default: the worst exemplar)")
+	list := flag.Bool("list", false, "list every retained exemplar, worst first")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: skyloft-explain [-req ID] [-list] causal.json|bundle-dir")
+		os.Exit(2)
+	}
+
+	doc, err := causal.ReadDocument(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyloft-explain: %v\n", err)
+		os.Exit(1)
+	}
+	kind := "requests"
+	if doc.Episodes {
+		kind = "episodes"
+	}
+	fmt.Printf("causal document: %d %s traced, %d complete, %d abandoned; %d exemplars retained (k=%d)\n",
+		doc.Started, kind, doc.Completed, doc.Abandoned, len(doc.Exemplars), doc.K)
+
+	if *list {
+		if err := doc.List(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "skyloft-explain: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	ex := doc.Worst()
+	if *req != 0 {
+		if ex = doc.Find(*req); ex == nil {
+			fmt.Fprintf(os.Stderr, "skyloft-explain: request %d not among the retained exemplars (try -list)\n", *req)
+			os.Exit(1)
+		}
+	}
+	if ex == nil {
+		fmt.Fprintln(os.Stderr, "skyloft-explain: document retains no exemplars")
+		os.Exit(1)
+	}
+	fmt.Println()
+	if err := causal.Explain(os.Stdout, ex); err != nil {
+		fmt.Fprintf(os.Stderr, "skyloft-explain: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -8,9 +8,10 @@
 // Perfetto/Chrome trace_event JSON (open at https://ui.perfetto.dev),
 // -metrics-out snapshots the metrics registry, -doctor-out writes the
 // sched-doctor diagnosis (windowed telemetry, tail attribution, pathology
-// findings) as JSON, and -occupancy prints the per-core busy/idle/kernel
-// shares sampled on the virtual clock. Every *-out flag accepts "-" for
-// stdout.
+// findings) as JSON, -occupancy prints the per-core busy/idle/kernel
+// shares sampled on the virtual clock, and -causal-out writes the causal
+// tracer's slow-episode exemplar document for cmd/skyloft-explain. Every
+// *-out flag accepts "-" for stdout.
 //
 // The live telemetry flags stream the run while it executes: -live-out
 // writes one NDJSON snapshot per virtual-time window ("-" for stdout),
@@ -36,6 +37,7 @@ import (
 	"skyloft/internal/cycles"
 	"skyloft/internal/hw"
 	"skyloft/internal/obs"
+	"skyloft/internal/obs/causal"
 	"skyloft/internal/obs/doctor"
 	"skyloft/internal/obs/live"
 	"skyloft/internal/policy/mlfq"
@@ -75,6 +77,12 @@ func main() {
 		prof = engine.NewOccupancyProfiler(0)
 		prof.Start()
 	}
+	// Episode-mode causal tracer: the churn workload has no request path, so
+	// every wake-to-park episode is a journey. Attach-only — the trace
+	// invariants validated below see the identical event stream.
+	ctr := causal.New(causal.Config{Episodes: true, TickPeriod: simtime.Second / 100_000})
+	ctr.Attach(tr)
+	ctr.SetDeliveryProber(engine)
 
 	lc := engine.NewApp("lc")
 	be := engine.NewApp("batch")
@@ -99,6 +107,7 @@ func main() {
 		Profiler: prof,
 		AppNames: engine.AppNames(),
 		Workers:  engine.Workers(),
+		Causal:   ctr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -133,6 +142,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if err := ctr.Report(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Println()
 
 	start := len(events) - *n
@@ -145,7 +158,12 @@ func main() {
 
 	if err := of.EmitTrace(events, obs.ExportConfig{
 		NumCPUs: engine.Workers(), AppNames: names, Instants: true,
+		Flows: ctr.FlowJourneys(),
 	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := of.EmitCausal(ctr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

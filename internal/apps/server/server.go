@@ -26,6 +26,24 @@ type Handler func(e sched.Env, p netsim.Packet)
 // RunService is the default handler: consume the packet's service demand.
 func RunService(e sched.Env, p netsim.Packet) { e.Run(p.Service) }
 
+// CausalTracer receives request-identity callbacks from the server glue —
+// the propagation points the per-request causal tracer (internal/obs/causal)
+// needs beyond what the NIC observer and trace ring expose: which thread
+// serves which request, and when the reply happens. Implementations must be
+// attach-only. A nil tracer is allowed everywhere and costs one branch.
+type CausalTracer interface {
+	// BindPacket binds NIC packet seq to its serving thread at instant at.
+	BindPacket(seq uint64, task int, at simtime.Time)
+	// ReplyPacket closes NIC packet seq's journey at the reply instant.
+	ReplyPacket(seq uint64, at simtime.Time)
+	// BeginDirect opens a journey for loadgen injection seq (no NIC).
+	BeginDirect(seq uint64, at simtime.Time, class int, service simtime.Duration, flow uint64)
+	// BindDirect binds injection seq to its serving thread.
+	BindDirect(seq uint64, task int)
+	// ReplyDirect closes injection seq's journey at the reply instant.
+	ReplyDirect(seq uint64, at simtime.Time)
+}
+
 // Server measures request completions.
 type Server struct {
 	Rec *loadgen.Recorder
@@ -35,13 +53,29 @@ type Server struct {
 // NewThreadPerRequest attaches a thread-per-request server to all rings of
 // nic, spawning handler threads on sys.
 func NewThreadPerRequest(sys apps.System, nic *netsim.NIC, rec *loadgen.Recorder, h Handler) *Server {
+	return NewThreadPerRequestObs(sys, nic, rec, h, nil)
+}
+
+// NewThreadPerRequestObs is NewThreadPerRequest with an optional causal
+// tracer: each request binds to its fresh thread at the delivery instant
+// (the handler body runs at a later event, so the bind precedes the first
+// dispatch) and replies when the handler returns.
+func NewThreadPerRequestObs(sys apps.System, nic *netsim.NIC, rec *loadgen.Recorder,
+	h Handler, ct CausalTracer) *Server {
 	s := &Server{Rec: rec, nic: nic}
 	for i := 0; i < nic.Rings(); i++ {
 		nic.OnRing(i, func(p netsim.Packet) {
-			sys.Start(reqName(p), func(e sched.Env) {
+			t := sys.Start(reqName(p), func(e sched.Env) {
 				h(e, p)
-				rec.Record(e.Now(), p.Arrive, p.Service, p.Class)
+				now := e.Now()
+				rec.Record(now, p.Arrive, p.Service, p.Class)
+				if ct != nil {
+					ct.ReplyPacket(p.Seq, now)
+				}
 			})
+			if ct != nil {
+				ct.BindPacket(p.Seq, t.ID, nic.Now())
+			}
 		})
 	}
 	return s
@@ -52,6 +86,15 @@ func NewThreadPerRequest(sys apps.System, nic *netsim.NIC, rec *loadgen.Recorder
 // Fig. 7a).
 func NewWorkerPool(sys apps.System, w netsim.Waker, nic *netsim.NIC, rec *loadgen.Recorder,
 	workers int, h Handler) *Server {
+	return NewWorkerPoolObs(sys, w, nic, rec, workers, h, nil)
+}
+
+// NewWorkerPoolObs is NewWorkerPool with an optional causal tracer: each
+// request binds to the pool worker that pops it (mid-run — the interval the
+// packet sat in the shared ring is ingress queueing) and replies when the
+// handler finishes.
+func NewWorkerPoolObs(sys apps.System, w netsim.Waker, nic *netsim.NIC, rec *loadgen.Recorder,
+	workers int, h Handler, ct CausalTracer) *Server {
 	s := &Server{Rec: rec, nic: nic}
 	ring := netsim.NewRing(w)
 	for i := 0; i < nic.Rings(); i++ {
@@ -64,8 +107,15 @@ func NewWorkerPool(sys apps.System, w netsim.Waker, nic *netsim.NIC, rec *loadge
 				if p.Class < 0 {
 					return // poison pill for shutdown
 				}
+				if ct != nil {
+					ct.BindPacket(p.Seq, e.Self().ID, e.Now())
+				}
 				h(e, p)
-				rec.Record(e.Now(), p.Arrive, p.Service, p.Class)
+				now := e.Now()
+				rec.Record(now, p.Arrive, p.Service, p.Class)
+				if ct != nil {
+					ct.ReplyPacket(p.Seq, now)
+				}
 			}
 		})
 	}
@@ -98,6 +148,8 @@ type quickReq struct {
 	arrive  simtime.Time
 	service simtime.Duration
 	class   int
+	ct      CausalTracer // optional causal tracer (nil when not tracing)
+	seq     uint64       // loadgen injection sequence, the tracer's key
 	next    *quickReq
 	fire    func(now simtime.Time) // bound done method, allocated once
 }
@@ -118,10 +170,14 @@ func (p *quickReqPool) get(rec *loadgen.Recorder, r loadgen.Request) *quickReq {
 
 func (q *quickReq) done(now simtime.Time) {
 	rec, arrive, service, class := q.rec, q.arrive, q.service, q.class
-	q.rec = nil
+	ct, seq := q.ct, q.seq
+	q.rec, q.ct, q.seq = nil, nil, 0
 	q.next = q.pool.free
 	q.pool.free = q
 	rec.Record(now, arrive, service, class)
+	if ct != nil {
+		ct.ReplyDirect(seq, now)
+	}
 }
 
 // FeedDirect connects a load generator directly to a System, bypassing the
@@ -131,20 +187,46 @@ func (q *quickReq) done(now simtime.Time) {
 // backing goroutine, through a pooled completion record.
 func FeedDirect(g *loadgen.Gen, clock loadgen.Clock, sys apps.System,
 	rec *loadgen.Recorder, limit uint64) {
+	FeedDirectObs(g, clock, sys, rec, limit, nil)
+}
+
+// FeedDirectObs is FeedDirect with an optional causal tracer: each injected
+// request opens a journey keyed by its loadgen sequence number, binds to its
+// thread at the injection instant and replies through the completion record.
+func FeedDirectObs(g *loadgen.Gen, clock loadgen.Clock, sys apps.System,
+	rec *loadgen.Recorder, limit uint64, ct CausalTracer) {
 	if qs, ok := sys.(apps.QuickSystem); ok {
 		var pool quickReqPool
 		g.Run(clock, limit, func(r loadgen.Request) {
-			qs.StartQuick("req", r.Service, pool.get(rec, r).fire)
+			q := pool.get(rec, r)
+			if ct != nil {
+				q.ct, q.seq = ct, r.Seq
+				ct.BeginDirect(r.Seq, r.At, r.Class, r.Service, r.Flow)
+			}
+			t := qs.StartQuick("req", r.Service, q.fire)
+			if ct != nil {
+				ct.BindDirect(r.Seq, t.ID)
+			}
 		})
 		return
 	}
 	g.Run(clock, limit, func(r loadgen.Request) {
 		arrive := r.At
-		g := r
-		sys.Start("req", func(e sched.Env) {
-			e.Run(g.Service)
-			rec.Record(e.Now(), arrive, g.Service, g.Class)
+		req := r
+		if ct != nil {
+			ct.BeginDirect(req.Seq, arrive, req.Class, req.Service, req.Flow)
+		}
+		t := sys.Start("req", func(e sched.Env) {
+			e.Run(req.Service)
+			now := e.Now()
+			rec.Record(now, arrive, req.Service, req.Class)
+			if ct != nil {
+				ct.ReplyDirect(req.Seq, now)
+			}
 		})
+		if ct != nil {
+			ct.BindDirect(req.Seq, t.ID)
+		}
 	})
 }
 

@@ -54,6 +54,13 @@ func DefaultDiffConfig() DiffConfig {
 			// absolute floor dominates: movement beyond one tenth of a
 			// percentage point means the publishing cadence changed.
 			"live.": {Rel: 0.5, Abs: 0.1},
+			// causal.* gauges the request tracer. overhead_pct must be
+			// exactly 0 (the tracer schedules no events; BuildReport panics
+			// past 0.5), so any drift at all is a perturbation bug — the
+			// tiny absolute band exists only for float formatting slack.
+			// exemplar_coverage sits near 1.0 and moves only when the
+			// journey lifecycle (open/bind/reply) changes.
+			"causal.": {Rel: 0.05, Abs: 0.01},
 		},
 	}
 }

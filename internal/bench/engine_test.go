@@ -7,6 +7,7 @@ import (
 	"skyloft/internal/apps/server"
 	"skyloft/internal/hw"
 	"skyloft/internal/obs"
+	"skyloft/internal/obs/causal"
 	"skyloft/internal/simtime"
 	"skyloft/internal/trace"
 )
@@ -102,9 +103,11 @@ func TestEngineDifferentialFig7(t *testing.T) {
 // The report's engine probe feeds the regression gate: the sharded engine
 // must dispatch the same events as the serial clock and beat it on modeled
 // events/sec for the 48-core Fig. 7 run. The live-bus twin must cost no
-// more than the 5% overhead ceiling and publish a full window sequence.
+// more than the 5% overhead ceiling and publish a full window sequence;
+// the causal twin must cost exactly nothing (the tracer schedules no
+// events) and complete nearly every journey.
 func TestEngineProbeBeatsSerial(t *testing.T) {
-	serial, sharded, live := engineProbe(1)
+	serial, sharded, live, causalRun := engineProbe(1)
 	if serial.dispatched != sharded.dispatched {
 		t.Fatalf("probe dispatch counts differ: serial %d, sharded %d",
 			serial.dispatched, sharded.dispatched)
@@ -123,5 +126,147 @@ func TestEngineProbeBeatsSerial(t *testing.T) {
 	}
 	if live.liveWindows == 0 {
 		t.Fatal("bus-attached probe published no windows")
+	}
+	if causalRun.dispatched != sharded.dispatched {
+		t.Fatalf("causal-attached run dispatched %d events, bare %d — the tracer must schedule nothing",
+			causalRun.dispatched, sharded.dispatched)
+	}
+	if causalRun.causalCoverage < 0.9 {
+		t.Fatalf("causal probe coverage %.3f, want >= 0.9", causalRun.causalCoverage)
+	}
+	if causalRun.causalExemplars == 0 {
+		t.Fatal("causal probe retained no exemplars")
+	}
+}
+
+// netSignature runs a quick Fig. 8a Memcached config (the kernel-bypass NIC
+// path: packet sequence numbers assigned at netsim arrival, RSS steering,
+// ingress rings, thread-per-request service) — optionally with the causal
+// request tracer attached over the NIC observer and server callbacks.
+func netSignature(shards int, seed uint64, ctr *causal.Tracer) runSignature {
+	m := shardedMachine(shards)
+	tr := trace.New(1 << 16)
+	RunNetApp(NetConfig{
+		System: NetSkyloft, App: "memcached", Workers: Fig8aWorkers,
+		Rate:     0.5 * Capacity(Fig8aWorkers, server.USRClasses()),
+		Duration: 5 * simtime.Millisecond, Warmup: simtime.Millisecond,
+		Seed: seed, machine: m, tr: tr, ct: ctr,
+	})
+	return runSignature{
+		traceHash:  tr.Hash(),
+		traceTotal: tr.Total(),
+		spanHash:   obs.BuildSpans(tr.Events()).Hash(),
+		dispatched: m.Clock.Dispatched(),
+	}
+}
+
+// TestCausalDifferentialFig8 is the NIC-path twin of the Fig. 7 causal
+// differential: request IDs are born at netsim packet arrival and the
+// journey crosses RSS steering, the ingress ring, and the serving thread.
+// Attaching the tracer must leave the schedule untouched, every retained
+// exemplar must carry its RSS ring and a non-empty hop chain, and the
+// tracer state must be bit-identical across the serial clock and
+// Engine{1,2,4,8}.
+func TestCausalDifferentialFig8(t *testing.T) {
+	for _, seed := range []uint64{1, 5, 13, 21} {
+		bare := netSignature(engineShardCounts[0], seed, nil)
+		serialTracer := causal.New(causal.Config{})
+		wantSig := netSignature(engineShardCounts[0], seed, serialTracer)
+		if wantSig != bare {
+			t.Fatalf("seed %d: causal tracer perturbed the NIC run:\n  bare:   %v\n  traced: %v",
+				seed, bare, wantSig)
+		}
+		if serialTracer.Completed() == 0 {
+			t.Fatalf("seed %d: tracer completed no request journeys", seed)
+		}
+		if cov := serialTracer.Coverage(); cov < 0.9 {
+			t.Fatalf("seed %d: request coverage %.3f, want >= 0.9", seed, cov)
+		}
+		for _, ex := range serialTracer.Exemplars() {
+			if ex.Kind != "request" {
+				t.Fatalf("seed %d: NIC exemplar kind %q, want request", seed, ex.Kind)
+			}
+			if ex.Ring < 0 {
+				t.Fatalf("seed %d: request %d lost its RSS ring", seed, ex.ID)
+			}
+			if len(ex.Hops) == 0 {
+				t.Fatalf("seed %d: request %d has no dispatch hops", seed, ex.ID)
+			}
+		}
+		wantHash := serialTracer.Hash()
+		for _, shards := range engineShardCounts[1:] {
+			tracer := causal.New(causal.Config{})
+			gotSig := netSignature(shards, seed, tracer)
+			if gotSig != wantSig {
+				t.Errorf("seed %d shards %d: traced NIC schedule diverged:\n  serial: %v\n  engine: %v",
+					seed, shards, wantSig, gotSig)
+			}
+			if got := tracer.Hash(); got != wantHash {
+				t.Errorf("seed %d shards %d: causal state diverged: serial %016x, engine %016x",
+					seed, shards, wantHash, got)
+			}
+		}
+	}
+}
+
+// causalSignature runs the Fig. 7 quick config with the causal request
+// tracer attached: the schedule fingerprint (which must equal the untraced
+// run's — the tracer is attach-only) plus the tracer's own state hash
+// (which must be identical at every shard count — exemplar selection and
+// critical-path attribution are part of the determinism contract).
+func causalSignature(shards int, seed uint64) (runSignature, *causal.Tracer) {
+	m := shardedMachine(shards)
+	tr := trace.New(1 << 16)
+	ctr := causal.New(causal.Config{})
+	RunSynthetic(SynthConfig{
+		System: SynthSkyloft, Rate: 0.5 * Capacity(Fig7Workers, server.DispersiveClasses()),
+		Duration: 5 * simtime.Millisecond, Warmup: simtime.Millisecond,
+		Seed: seed, machine: m, tr: tr, ct: ctr,
+	})
+	sig := runSignature{
+		traceHash:  tr.Hash(),
+		traceTotal: tr.Total(),
+		spanHash:   obs.BuildSpans(tr.Events()).Hash(),
+		dispatched: m.Clock.Dispatched(),
+	}
+	return sig, ctr
+}
+
+// TestCausalDifferentialFig7 pins the causal tracer's two contracts on the
+// Fig. 7 quick config across four seeds: attaching the tracer leaves the
+// schedule untouched (trace/span/dispatch fingerprints equal the untraced
+// serial run's), and the tracer's full state — journey counts, top-K
+// exemplar selection, per-hop critical-path attribution — is bit-identical
+// on the serial clock and Engine{1,2,4,8}. The edges-sum-to-sojourn
+// invariant is enforced by a panic inside the tracer on every completed
+// journey, so this test also exercises it thousands of times.
+func TestCausalDifferentialFig7(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 5, 13} {
+		bare := fig7Signature(engineShardCounts[0], seed)
+		wantSig, serialTracer := causalSignature(engineShardCounts[0], seed)
+		if wantSig != bare {
+			t.Fatalf("seed %d: causal tracer perturbed the serial run:\n  bare:   %v\n  traced: %v",
+				seed, bare, wantSig)
+		}
+		if serialTracer.Completed() == 0 {
+			t.Fatalf("seed %d: tracer completed no journeys", seed)
+		}
+		if len(serialTracer.Exemplars()) == 0 {
+			t.Fatalf("seed %d: tracer retained no exemplars", seed)
+		}
+		wantHash := serialTracer.Hash()
+		for _, shards := range engineShardCounts[1:] {
+			gotSig, tracer := causalSignature(shards, seed)
+			if gotSig != wantSig {
+				t.Errorf("seed %d shards %d: traced schedule diverged:\n  serial: %v\n  engine: %v",
+					seed, shards, wantSig, gotSig)
+			}
+			if got := tracer.Hash(); got != wantHash {
+				t.Errorf("seed %d shards %d: causal state diverged: serial %016x, engine %016x (started %d/%d completed %d/%d)",
+					seed, shards, wantHash, got,
+					serialTracer.Started(), tracer.Started(),
+					serialTracer.Completed(), tracer.Completed())
+			}
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"skyloft/internal/faults"
 	"skyloft/internal/obs"
+	"skyloft/internal/obs/causal"
 	"skyloft/internal/obs/live"
 	"skyloft/internal/simtime"
 )
@@ -44,12 +45,21 @@ func FlightProbe(name string, seed uint64, dur simtime.Duration, of *obs.Flags) 
 			Window:     FlightWindow,
 			Starvation: FlightStarvation,
 		}
+		// Episode-mode causal tracer: chaos workloads have no request
+		// injection path, so wake-to-park episodes are the journeys. Its
+		// exemplars ride along in snapshots and any dumped bundle.
+		ctr := causal.New(causal.Config{
+			Episodes:   true,
+			TickPeriod: simtime.Second / SkyloftTimerHz,
+		})
+		ctr.Attach(h.Ring)
 		sess, aerr = live.FromFlags(of, base, live.Source{
 			Clock:    h.Clock,
 			Ring:     h.Ring,
 			Registry: h.Registry,
 			AppNames: h.AppNames,
 			Workers:  h.Workers,
+			Causal:   ctr,
 		})
 		if sess != nil {
 			checker.OnViolation = func(msg string) { sess.Bus.Trigger("invariant: " + msg) }

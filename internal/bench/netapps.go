@@ -8,12 +8,15 @@ import (
 	"skyloft/internal/baseline/shenangosim"
 	"skyloft/internal/core"
 	"skyloft/internal/cycles"
+	"skyloft/internal/hw"
 	"skyloft/internal/loadgen"
 	"skyloft/internal/netsim"
+	"skyloft/internal/obs/causal"
 	"skyloft/internal/policy/worksteal"
 	"skyloft/internal/sched"
 	"skyloft/internal/simtime"
 	"skyloft/internal/stats"
+	"skyloft/internal/trace"
 )
 
 // Fig. 8 (§5.3): real applications over the kernel-bypass network path —
@@ -40,6 +43,17 @@ type NetConfig struct {
 	Duration simtime.Duration
 	Warmup   simtime.Duration
 	Seed     uint64
+
+	// machine overrides the standard machine (the engine differential
+	// harness shards it).
+	machine *hw.Machine
+	// tr, when set, records the run's schedule for cross-shard comparison.
+	tr *trace.Ring
+	// ct, when set, traces every request's journey end to end over the NIC
+	// path (requires tr): the request ID is the packet sequence number
+	// assigned at netsim arrival, followed through RSS steering, the
+	// ingress ring, binding to the serving thread, and the reply.
+	ct *causal.Tracer
 }
 
 func netClasses(app string) []loadgen.Class {
@@ -61,7 +75,10 @@ func RunNetApp(cfg NetConfig) LoadPoint {
 	if cfg.Warmup == 0 {
 		cfg.Warmup = 30 * simtime.Millisecond
 	}
-	m := newMachine()
+	m := cfg.machine
+	if m == nil {
+		m = newMachine()
+	}
 	var e *core.Engine
 	workers := cfg.Workers
 	switch cfg.System {
@@ -70,7 +87,7 @@ func RunNetApp(cfg NetConfig) LoadPoint {
 			Machine: m, CPUs: cpuList(workers), Mode: core.PerCPU,
 			Policy:    worksteal.New(0, cfg.Seed),
 			Costs:     core.SkyloftCosts(cycles.Default()),
-			TimerMode: core.TimerNone, Seed: cfg.Seed,
+			TimerMode: core.TimerNone, Seed: cfg.Seed, Trace: cfg.tr,
 		})
 	case NetSkyloftPre:
 		if cfg.Quantum <= 0 {
@@ -81,7 +98,7 @@ func RunNetApp(cfg NetConfig) LoadPoint {
 			Machine: m, CPUs: cpuList(workers), Mode: core.PerCPU,
 			Policy:    worksteal.New(cfg.Quantum, cfg.Seed),
 			Costs:     core.SkyloftCosts(cycles.Default()),
-			TimerMode: core.TimerLAPIC, TimerHz: hz, Seed: cfg.Seed,
+			TimerMode: core.TimerLAPIC, TimerHz: hz, Seed: cfg.Seed, Trace: cfg.tr,
 		})
 	case NetSkyloftUtimer:
 		if cfg.Quantum <= 0 {
@@ -92,7 +109,7 @@ func RunNetApp(cfg NetConfig) LoadPoint {
 			Machine: m, CPUs: cpuList(workers + 1), Mode: core.PerCPU,
 			Policy:    worksteal.New(cfg.Quantum, cfg.Seed),
 			Costs:     core.SkyloftCosts(cycles.Default()),
-			TimerMode: core.TimerUtimer, UtimerQuantum: cfg.Quantum, Seed: cfg.Seed,
+			TimerMode: core.TimerUtimer, UtimerQuantum: cfg.Quantum, Seed: cfg.Seed, Trace: cfg.tr,
 		})
 	case NetShenango:
 		e = shenangosim.New(shenangosim.Config{Machine: m, CPUs: cpuList(workers), Seed: cfg.Seed})
@@ -104,7 +121,18 @@ func RunNetApp(cfg NetConfig) LoadPoint {
 	app := e.NewApp(cfg.App)
 	rec := loadgen.NewRecorder(cfg.Warmup)
 	nic := netsim.NewNIC(m.Clock, m.Cost, e.Workers())
-	server.NewThreadPerRequest(app, nic, rec, makeHandler(cfg.App))
+	var ctr server.CausalTracer
+	if cfg.ct != nil {
+		if cfg.tr == nil {
+			panic("bench: causal tracing needs a trace ring")
+		}
+		cfg.ct.Attach(cfg.tr)
+		defer cfg.ct.Detach()
+		cfg.ct.SetDeliveryProber(e)
+		nic.SetObserver(cfg.ct)
+		ctr = cfg.ct
+	}
+	server.NewThreadPerRequestObs(app, nic, rec, makeHandler(cfg.App), ctr)
 
 	gen := loadgen.New(cfg.Rate, netClasses(cfg.App), 4096, cfg.Seed)
 	server.Feed(gen, m.Clock, nic, 0)

@@ -4,6 +4,7 @@ import (
 	"skyloft/internal/core"
 	"skyloft/internal/cycles"
 	"skyloft/internal/obs"
+	"skyloft/internal/obs/causal"
 	"skyloft/internal/policy/rr"
 	"skyloft/internal/sched"
 	"skyloft/internal/simtime"
@@ -21,6 +22,7 @@ type Observed struct {
 	AppNames []string
 	Registry *obs.Registry
 	Profiler *obs.Profiler
+	Causal   *causal.Tracer
 	Workers  int
 }
 
@@ -33,6 +35,7 @@ type RunHooks struct {
 	Ring     *trace.Ring
 	Registry *obs.Registry
 	Profiler *obs.Profiler
+	Causal   *causal.Tracer
 	AppNames []string
 	Workers  int
 }
@@ -41,6 +44,10 @@ type RunHooks struct {
 type ObserveOpts struct {
 	// Profile attaches the occupancy profiler.
 	Profile bool
+	// Causal attaches the per-request causal tracer in episode mode (the
+	// workload has no request injection path; every wake-to-park episode is
+	// a journey).
+	Causal bool
 	// PreRun, when non-nil, runs just before the virtual run starts.
 	PreRun func(h RunHooks)
 }
@@ -73,6 +80,15 @@ func ObservedRunOpts(seed uint64, dur simtime.Duration, opts ObserveOpts) *Obser
 		prof = e.NewOccupancyProfiler(0)
 		prof.Start()
 	}
+	var ctr *causal.Tracer
+	if opts.Causal {
+		ctr = causal.New(causal.Config{
+			Episodes:   true,
+			TickPeriod: simtime.Second / SkyloftTimerHz,
+		})
+		ctr.Attach(tr)
+		ctr.SetDeliveryProber(e)
+	}
 
 	lc := e.NewApp("lc")
 	batch := e.NewApp("batch")
@@ -102,6 +118,7 @@ func ObservedRunOpts(seed uint64, dur simtime.Duration, opts ObserveOpts) *Obser
 			Ring:     tr,
 			Registry: reg,
 			Profiler: prof,
+			Causal:   ctr,
 			AppNames: e.AppNames(),
 			Workers:  e.Workers(),
 		})
@@ -116,6 +133,7 @@ func ObservedRunOpts(seed uint64, dur simtime.Duration, opts ObserveOpts) *Obser
 		AppNames: e.AppNames(),
 		Registry: reg,
 		Profiler: prof,
+		Causal:   ctr,
 		Workers:  e.Workers(),
 	}
 }

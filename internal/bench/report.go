@@ -10,6 +10,7 @@ import (
 	"skyloft/internal/baseline/linuxsim"
 	"skyloft/internal/hw"
 	"skyloft/internal/obs"
+	"skyloft/internal/obs/causal"
 	"skyloft/internal/obs/doctor"
 	"skyloft/internal/obs/live"
 	"skyloft/internal/simtime"
@@ -128,7 +129,7 @@ func BuildReport(seed uint64, quick bool) *BenchReport {
 	// it divides the dispatched-event count by the event core's *modeled*
 	// bookkeeping time (scan/compare operation counts at fixed ns costs),
 	// not wall time — so the speedup is regression-gated like any metric.
-	serialProbe, shardedProbe, liveProbe := engineProbe(seed)
+	serialProbe, shardedProbe, liveProbe, causalProbe := engineProbe(seed)
 	r.Metrics["engine.shards"] = float64(shardedProbe.shards)
 	r.Metrics["engine.events_per_sec"] = shardedProbe.eventsPerSec
 	r.Metrics["engine.events_per_sec_serial"] = serialProbe.eventsPerSec
@@ -150,6 +151,19 @@ func BuildReport(seed uint64, quick bool) *BenchReport {
 	}
 	r.Metrics["live.overhead_pct"] = overheadPct
 	r.Metrics["live.windows"] = liveProbe.liveWindows
+	// Causal tracer cost on the same probe: the tracer schedules no clock
+	// events at all (ring tap + datapath callbacks only), so its modeled
+	// overhead must be exactly zero — any dispatched-event delta means the
+	// tracer perturbed the simulation, a correctness bug. The 0.5%% ceiling
+	// is a loud tripwire, not an allowance.
+	causalOverheadPct := 100 * float64(causalProbe.dispatched-shardedProbe.dispatched) /
+		float64(shardedProbe.dispatched)
+	if causalOverheadPct > 0.5 {
+		panic(fmt.Sprintf("bench: causal tracer overhead %.2f%% exceeds the 0.5%% bound", causalOverheadPct))
+	}
+	r.Metrics["causal.overhead_pct"] = causalOverheadPct
+	r.Metrics["causal.exemplar_coverage"] = causalProbe.causalCoverage
+	r.Metrics["causal.exemplars"] = causalProbe.causalExemplars
 
 	// Table 6: delivery cost per preemption mechanism (cycles).
 	for _, row := range Table6() {
@@ -191,38 +205,49 @@ const engineProbeShards = 4
 
 // engineProbeResult is one event core's throughput measurement.
 type engineProbeResult struct {
-	shards        int
-	dispatched    uint64
-	eventsPerSec  float64
-	laneMaxShare  float64 // busiest lane's share of dispatched events
-	laneBacklogHW float64 // deepest overflow backlog across lanes
-	liveWindows   float64 // snapshots published (bus-attached run only)
+	shards          int
+	dispatched      uint64
+	eventsPerSec    float64
+	laneMaxShare    float64 // busiest lane's share of dispatched events
+	laneBacklogHW   float64 // deepest overflow backlog across lanes
+	liveWindows     float64 // snapshots published (bus-attached run only)
+	causalCoverage  float64 // completed/started journeys (causal run only)
+	causalExemplars float64 // retained exemplars (causal run only)
 }
 
-// engineProbe runs the 48-core Fig. 7a quick load point three times —
-// serial clock, sharded engine, and the sharded engine with the live
-// telemetry bus attached — and reports each core's modeled event
-// throughput plus the sharded run's lane self-profile. The serial and
-// sharded runs must dispatch identical event counts: they are the same
-// simulation by the engine's determinism contract, and a mismatch is a
-// correctness bug worth dying loudly over. The bus-attached run dispatches
-// strictly more (its boundary ticks); the delta is the bus's overhead.
-func engineProbe(seed uint64) (serial, sharded, shardedLive engineProbeResult) {
-	run := func(shards int, withBus bool) engineProbeResult {
+// engineProbe runs the 48-core Fig. 7a quick load point four times —
+// serial clock, sharded engine, the sharded engine with the live telemetry
+// bus attached, and the sharded engine with the causal request tracer
+// attached — and reports each core's modeled event throughput plus the
+// sharded run's lane self-profile. The serial and sharded runs must
+// dispatch identical event counts: they are the same simulation by the
+// engine's determinism contract, and a mismatch is a correctness bug worth
+// dying loudly over. The bus-attached run dispatches strictly more (its
+// boundary ticks); the delta is the bus's overhead. The causal run must
+// dispatch exactly the base count — the tracer schedules nothing.
+func engineProbe(seed uint64) (serial, sharded, shardedLive, shardedCausal engineProbeResult) {
+	run := func(shards int, withBus, withCausal bool) engineProbeResult {
 		cfg := hw.DefaultConfig() // all 48 cores
 		cfg.Shards = shards
 		m := hw.NewMachine(cfg)
 		var bus *live.Bus
 		var tr *trace.Ring
+		var ctr *causal.Tracer
 		if withBus {
 			tr = trace.New(1 << 16)
 			bus = live.Attach(live.Config{}, live.Source{Clock: m.Clock, Ring: tr})
+		}
+		if withCausal {
+			if tr == nil {
+				tr = trace.New(1 << 16)
+			}
+			ctr = causal.New(causal.Config{})
 		}
 		load := 0.8 * Capacity(Fig7Workers, server.DispersiveClasses())
 		RunSynthetic(SynthConfig{
 			System: SynthSkyloft, Rate: load,
 			Duration: 30 * simtime.Millisecond, Warmup: 30 * simtime.Millisecond,
-			Seed: seed, machine: m, tr: tr,
+			Seed: seed, machine: m, tr: tr, ct: ctr,
 		})
 		dispatched := m.Clock.Dispatched()
 		overhead := m.Clock.OverheadNs()
@@ -238,6 +263,10 @@ func engineProbe(seed uint64) (serial, sharded, shardedLive engineProbeResult) {
 			bus.Close()
 			res.liveWindows = float64(bus.Windows())
 		}
+		if ctr != nil {
+			res.causalCoverage = ctr.Coverage()
+			res.causalExemplars = float64(len(ctr.Exemplars()))
+		}
 		if eng, ok := m.Clock.(*simtime.Engine); ok {
 			for _, l := range eng.LaneStats() {
 				if share := float64(l.Dispatched) / float64(dispatched); share > res.laneMaxShare {
@@ -250,14 +279,15 @@ func engineProbe(seed uint64) (serial, sharded, shardedLive engineProbeResult) {
 		}
 		return res
 	}
-	serial = run(0, false)
-	sharded = run(engineProbeShards, false)
+	serial = run(0, false, false)
+	sharded = run(engineProbeShards, false, false)
 	if serial.dispatched != sharded.dispatched {
 		panic(fmt.Sprintf("bench: engine probe dispatch divergence: serial %d, %d-shard %d",
 			serial.dispatched, engineProbeShards, sharded.dispatched))
 	}
-	shardedLive = run(engineProbeShards, true)
-	return serial, sharded, shardedLive
+	shardedLive = run(engineProbeShards, true, false)
+	shardedCausal = run(engineProbeShards, false, true)
+	return serial, sharded, shardedLive, shardedCausal
 }
 
 // WriteJSON writes the report as indented JSON; output is byte-stable for

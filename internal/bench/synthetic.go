@@ -11,6 +11,7 @@ import (
 	"skyloft/internal/ksched"
 	"skyloft/internal/loadgen"
 	"skyloft/internal/netsim"
+	"skyloft/internal/obs/causal"
 	"skyloft/internal/policy/shinjuku"
 	"skyloft/internal/sched"
 	"skyloft/internal/simtime"
@@ -53,6 +54,10 @@ type SynthConfig struct {
 	// tr, when set, records the run's schedule — the engine differential
 	// harness compares trace hashes across event cores.
 	tr *trace.Ring
+	// ct, when set, traces every injected request's journey (requires tr —
+	// the tracer folds dispatch events from the trace ring). The causal
+	// probe and differential harness use it.
+	ct *causal.Tracer
 }
 
 // RunSynthetic executes one load point.
@@ -118,7 +123,17 @@ func runSyntheticCentral(cfg SynthConfig) LoadPoint {
 	}
 	rec := loadgen.NewRecorder(cfg.Warmup)
 	gen := loadgen.New(cfg.Rate, server.DispersiveClasses(), 1024, cfg.Seed)
-	server.FeedDirect(gen, m.Clock, lc, rec, 0)
+	var ctr server.CausalTracer
+	if cfg.ct != nil {
+		if cfg.tr == nil {
+			panic("bench: causal tracing needs a trace ring")
+		}
+		cfg.ct.Attach(cfg.tr)
+		defer cfg.ct.Detach()
+		cfg.ct.SetDeliveryProber(e)
+		ctr = cfg.ct
+	}
+	server.FeedDirectObs(gen, m.Clock, lc, rec, 0, ctr)
 	e.Run(simtime.Time(cfg.Warmup + cfg.Duration))
 	gen.Stop()
 

@@ -511,6 +511,23 @@ func (e *Engine) AppCPU(id int) simtime.Duration {
 // Workers reports the number of worker cores.
 func (e *Engine) Workers() int { return len(e.cores) }
 
+// UINTRDeliveredAt reports the most recent delivery-substrate instant seen
+// by worker cpu (the index trace events carry): the UINTR receiver's last
+// user-interrupt delivery or, if newer, the core's last hardware IRQ entry
+// (the LAPIC path). Zero before any delivery. Read-only — the causal tracer
+// annotates dispatch hops with it without perturbing the engine.
+func (e *Engine) UINTRDeliveredAt(cpu int) simtime.Time {
+	if cpu < 0 || cpu >= len(e.cores) {
+		return 0
+	}
+	c := e.cores[cpu]
+	at := c.hwc.LastIRQAt()
+	if d := c.recv.LastDeliveredAt(); d > at {
+		at = d
+	}
+	return at
+}
+
 // NewApp registers an application. The first app binds active kernel
 // threads on every isolated core (the daemon path); later apps park theirs
 // (§4.1), in line with the Single Binding Rule.

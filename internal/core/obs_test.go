@@ -12,6 +12,7 @@ import (
 	"skyloft/internal/cycles"
 	"skyloft/internal/hw"
 	"skyloft/internal/obs"
+	"skyloft/internal/obs/causal"
 	"skyloft/internal/obs/doctor"
 	"skyloft/internal/obs/live"
 	"skyloft/internal/policy/rr"
@@ -26,12 +27,15 @@ import (
 // taken, so the hash witnesses that the doctor touched nothing), plus the
 // live bus's stream hash, window count and flight-recorder trigger count.
 type obsScenario struct {
-	hash    uint64
-	spans   *obs.SpanSet
-	occ     []obs.CoreOccupancy
-	report  *doctor.Report
-	stream  uint64
-	windows int
+	hash      uint64
+	spans     *obs.SpanSet
+	occ       []obs.CoreOccupancy
+	report    *doctor.Report
+	stream    uint64
+	windows   int
+	causal    uint64 // causal tracer state hash
+	episodes  uint64 // causal journeys completed
+	exemplars int    // causal exemplars retained
 }
 
 // runObsScenario runs a mixed two-app workload with the full observability
@@ -55,17 +59,26 @@ func runObsScenario(seed uint64, shards int, instrument bool) obsScenario {
 
 	var prof *obs.Profiler
 	var bus *live.Bus
+	var ctr *causal.Tracer
 	if instrument {
 		var reg obs.Registry
 		e.RegisterMetrics(&reg)
 		prof = e.NewOccupancyProfiler(2 * simtime.Microsecond)
 		prof.Start()
+		// Episode-mode causal tracer on an extra ring tap, coexisting with
+		// the bus's primary tap and feeding exemplars into its snapshots.
+		ctr = causal.New(causal.Config{
+			Episodes:   true,
+			TickPeriod: simtime.Second / 100_000,
+		})
+		ctr.Attach(tr)
+		ctr.SetDeliveryProber(e)
 		bus = live.Attach(live.Config{
 			Window:   500 * simtime.Microsecond,
 			Recorder: &live.Recorder{}, // armed, count-only (no Dir)
 		}, live.Source{
 			Clock: m.Clock, Ring: tr, Registry: &reg, Profiler: prof,
-			AppNames: e.AppNames(), Workers: e.Workers(),
+			AppNames: e.AppNames(), Workers: e.Workers(), Causal: ctr,
 		})
 	}
 
@@ -98,6 +111,9 @@ func runObsScenario(seed uint64, shards int, instrument bool) obsScenario {
 		out.stream = bus.StreamHash()
 		out.windows = bus.Windows()
 		out.occ = prof.Report()
+		out.causal = ctr.Hash()
+		out.episodes = ctr.Completed()
+		out.exemplars = len(ctr.Exemplars())
 		// Run the full doctor — windowed telemetry, attribution, detectors —
 		// before reading the trace hash: if the doctor were anything but a
 		// pure function of recorded data, the hash below would move.
@@ -142,12 +158,14 @@ func TestSpanDeterminism(t *testing.T) {
 
 // TestObservabilityDoesNotPerturb attaches the registry, the occupancy
 // profiler, the live telemetry bus with an armed flight recorder, the
+// episode-mode causal tracer (extra ring tap + delivery prober), the
 // sched-doctor and its windowed sampler, and requires the trace and span
 // hashes to match the uninstrumented run — observability must be invisible
 // to the scheduler. It pins this at shard counts 0 (serial clock) and 4
-// (sharded engine), and additionally requires the live stream hash to be
-// identical across the two shard counts: the published snapshot stream is
-// simulation state, not host topology.
+// (sharded engine), and additionally requires the live stream hash and the
+// causal tracer's state hash to be identical across the two shard counts:
+// the published snapshot stream and the exemplar selection are simulation
+// state, not host topology.
 func TestObservabilityDoesNotPerturb(t *testing.T) {
 	var streams []obsScenario
 	for _, shards := range []int{0, 4} {
@@ -182,6 +200,12 @@ func TestObservabilityDoesNotPerturb(t *testing.T) {
 		if inst.report == nil || len(inst.report.Windows) == 0 || inst.report.Spans == 0 {
 			t.Fatalf("shards=%d: doctor produced no diagnosis: %+v", shards, inst.report)
 		}
+		if inst.episodes == 0 {
+			t.Fatalf("shards=%d: causal tracer completed no episodes", shards)
+		}
+		if inst.exemplars == 0 {
+			t.Fatalf("shards=%d: causal tracer retained no exemplars", shards)
+		}
 		streams = append(streams, inst)
 	}
 	if streams[0].stream != streams[1].stream {
@@ -191,6 +215,10 @@ func TestObservabilityDoesNotPerturb(t *testing.T) {
 	if streams[0].windows != streams[1].windows {
 		t.Fatalf("live window count differs across shard counts: %d vs %d",
 			streams[0].windows, streams[1].windows)
+	}
+	if streams[0].causal != streams[1].causal {
+		t.Fatalf("causal state hash differs across shard counts: serial %#x vs sharded %#x",
+			streams[0].causal, streams[1].causal)
 	}
 }
 

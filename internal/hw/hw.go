@@ -287,8 +287,9 @@ type Core struct {
 	pending     []IRQ // queued IRQs from pendingHead on (head-indexed ring)
 	pendingHead int
 	deliverEvt  simtime.Event
-	deliverFn   func() // scheduleDelivery callback, allocated once per core
-	runDoneFn   func() // StartRun completion callback, allocated once per core
+	deliverFn   func()       // scheduleDelivery callback, allocated once per core
+	runDoneFn   func()       // StartRun completion callback, allocated once per core
+	lastIRQAt   simtime.Time // most recent handler entry, for causal tracing
 
 	busyAccum simtime.Duration // total occupied time, for utilisation stats
 }
@@ -485,8 +486,14 @@ func (c *Core) deliverOne() {
 	c.pending[c.pendingHead] = IRQ{}
 	c.pendingHead++
 	c.inIRQ = true
+	c.lastIRQAt = c.m.Clock.Now()
 	c.handler(irq)
 }
+
+// LastIRQAt reports the instant the most recent interrupt entered this
+// core's handler (zero before any delivery). Observability-only: the causal
+// tracer annotates dispatch hops with the hardware notification instant.
+func (c *Core) LastIRQAt() simtime.Time { return c.lastIRQAt }
 
 // InIRQ reports whether the core is inside an interrupt handler.
 func (c *Core) InIRQ() bool { return c.inIRQ }

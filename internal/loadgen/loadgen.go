@@ -18,9 +18,13 @@ type Class struct {
 	Service rng.Dist // service-time distribution
 }
 
-// Request is one generated request.
+// Request is one generated request. Seq is the injection sequence number
+// (1-based, assigned in arrival order) — the request identity that the
+// causal tracer keys direct-injection journeys on, and the ID that would
+// propagate across machine boundaries in a cluster-scale simulation.
 type Request struct {
 	At      simtime.Time
+	Seq     uint64
 	Class   int
 	Service simtime.Duration
 	Flow    uint64
@@ -127,6 +131,7 @@ func (g *Gen) next(at simtime.Time) Request {
 	}
 	return Request{
 		At:      at,
+		Seq:     g.count,
 		Class:   cls,
 		Service: g.classes[cls].Service.Sample(g.r),
 		Flow:    uint64(g.r.Intn(g.flows)),

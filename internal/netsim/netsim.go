@@ -35,6 +35,16 @@ type Clock interface {
 	AfterOn(lane int, d simtime.Duration, fn func()) simtime.Event
 }
 
+// Observer watches the datapath for per-request causal tracing: arrival is
+// the instant the NIC accepts a packet (after sequence assignment and RSS
+// steering), delivery the instant the ring handler receives it. Observers
+// must be attach-only — they read packet identity, never mutate NIC state.
+// Poison pills (Class < 0, the worker-pool shutdown path) are not reported.
+type Observer interface {
+	PacketArrived(p Packet, ring int)
+	PacketDelivered(p Packet, ring int, at simtime.Time)
+}
+
 // NIC is the simulated device. In the default polling mode (§3.5) a
 // dedicated core polls the device and delivered packets pay the poll + RSS
 // ring hop + protocol stack costs before the application sees them. In
@@ -61,6 +71,7 @@ type NIC struct {
 
 	delivered uint64
 	dropped   uint64
+	obs       Observer
 }
 
 type inflightPkt struct {
@@ -94,6 +105,13 @@ func (n *NIC) SetLane(lane int) { n.lane = lane }
 
 // OnRing installs the handler invoked for packets steered to ring i.
 func (n *NIC) OnRing(i int, fn func(Packet)) { n.rings[i] = fn }
+
+// SetObserver installs the datapath observer (nil removes it).
+func (n *NIC) SetObserver(o Observer) { n.obs = o }
+
+// Now reports the NIC clock's current instant — the delivery instant inside
+// an OnRing handler (handlers run synchronously at delivery time).
+func (n *NIC) Now() simtime.Time { return n.clock.Now() }
 
 // Rings reports the ring count.
 func (n *NIC) Rings() int { return len(n.rings) }
@@ -136,6 +154,9 @@ func (n *NIC) Handle(ring int, p Packet) {
 		return
 	}
 	n.delivered++
+	if n.obs != nil && p.Class >= 0 {
+		n.obs.PacketDelivered(p, ring, n.clock.Now())
+	}
 	h(p)
 }
 
@@ -148,6 +169,9 @@ func (n *NIC) Deliver(p Packet) {
 	p.Seq = n.seq
 	p.Arrive = n.clock.Now()
 	ring := int(rssHash(p.Flow) % uint64(len(n.rings)))
+	if n.obs != nil && p.Class >= 0 {
+		n.obs.PacketArrived(p, ring)
+	}
 	if n.irqPost != nil {
 		n.irqBuf[ring] = append(n.irqBuf[ring], p)
 		n.irqPost(ring)

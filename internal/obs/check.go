@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"skyloft/internal/det"
 )
 
 // CheckTrace verifies a decoded trace_event document: every CPU in
@@ -69,10 +71,78 @@ func CheckFaultInstants(tf *TraceFile, min int) error {
 	return nil
 }
 
+// CheckFlowEvents verifies causal flow chains: at least min distinct flow
+// IDs must be present, each with exactly one start ("s") and one finish
+// ("f", bound to the enclosing slice), and every flow point must land
+// inside a complete-duration slice on its CPU track — the binding contract
+// that makes Perfetto draw the arrow into the right slice.
+func CheckFlowEvents(tf *TraceFile, min int) error {
+	type span struct{ start, end float64 }
+	slices := map[int][]span{}
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "X" {
+			slices[e.Tid] = append(slices[e.Tid], span{e.Ts, e.Ts + e.Dur})
+		}
+	}
+	// Timestamps are float µs derived from int64 ns; a slice end computed as
+	// start+dur can differ from the directly-converted flow timestamp by one
+	// double ulp, so the boundary comparison gets a picosecond of slack.
+	const eps = 1e-6
+	inSlice := func(tid int, ts float64) bool {
+		for _, s := range slices[tid] {
+			if ts >= s.start-eps && ts <= s.end+eps {
+				return true
+			}
+		}
+		return false
+	}
+	type flowState struct{ starts, steps, finishes int }
+	flows := map[uint64]*flowState{}
+	for i, e := range tf.TraceEvents {
+		if e.Cat != "causal" {
+			continue
+		}
+		fs := flows[e.ID]
+		if fs == nil {
+			fs = &flowState{}
+			flows[e.ID] = fs
+		}
+		switch e.Ph {
+		case "s":
+			fs.starts++
+		case "t":
+			fs.steps++
+		case "f":
+			if e.BP != "e" {
+				return fmt.Errorf("event %d: flow finish without bp=e", i)
+			}
+			fs.finishes++
+		default:
+			return fmt.Errorf("event %d: causal event with ph %q, want s/t/f", i, e.Ph)
+		}
+		if e.Name == "" {
+			return fmt.Errorf("event %d: flow event without a name", i)
+		}
+		if !inSlice(e.Tid, e.Ts) {
+			return fmt.Errorf("event %d: flow point (id %d, ts %v) outside any slice on track %d", i, e.ID, e.Ts, e.Tid)
+		}
+	}
+	for _, id := range det.SortedKeys(flows) {
+		if fs := flows[id]; fs.starts != 1 || fs.finishes != 1 {
+			return fmt.Errorf("flow %d: %d starts, %d finishes, want exactly 1 each", id, fs.starts, fs.finishes)
+		}
+	}
+	if len(flows) < min {
+		return fmt.Errorf("%d flow chains, want >= %d", len(flows), min)
+	}
+	return nil
+}
+
 // CheckTraceFile parses path as trace_event JSON and runs CheckTrace — the
 // round-trip guard used by `make trace-smoke`. minFaults > 0 additionally
-// requires that many validated fault instants (`make chaos`).
-func CheckTraceFile(path string, cpus, minFaults int) error {
+// requires that many validated fault instants (`make chaos`); minFlows > 0
+// requires that many validated causal flow chains (`make causal-smoke`).
+func CheckTraceFile(path string, cpus, minFaults, minFlows int) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -85,7 +155,12 @@ func CheckTraceFile(path string, cpus, minFaults int) error {
 		return err
 	}
 	if minFaults > 0 {
-		return CheckFaultInstants(&tf, minFaults)
+		if err := CheckFaultInstants(&tf, minFaults); err != nil {
+			return err
+		}
+	}
+	if minFlows > 0 {
+		return CheckFlowEvents(&tf, minFlows)
 	}
 	return nil
 }

@@ -28,6 +28,10 @@ type Flags struct {
 	LiveWindow time.Duration
 	LiveHTTP   string
 	FlightDir  string
+
+	// Causal request tracer (internal/obs/causal): exemplar document
+	// destination for skyloft-explain.
+	CausalOut string
 }
 
 // BindFlags registers the observability flags on the default CommandLine
@@ -42,18 +46,22 @@ func BindFlags() *Flags {
 	flag.DurationVar(&f.LiveWindow, "live-window", 0, "live snapshot window width in virtual time (default 1ms)")
 	flag.StringVar(&f.LiveHTTP, "live-http", "", "serve live snapshots over HTTP on this address (e.g. 127.0.0.1:7077)")
 	flag.StringVar(&f.FlightDir, "flight-dir", "", "flight recorder: dump a post-mortem bundle into this directory when a detector fires")
+	flag.StringVar(&f.CausalOut, "causal-out", "", "write the causal tracer's exemplar document as JSON for skyloft-explain (\"-\" for stdout)")
 	return f
 }
 
 // Active reports whether any observability output was requested.
 func (f *Flags) Active() bool {
-	return f.TraceOut != "" || f.MetricsOut != "" || f.DoctorOut != "" || f.Occupancy || f.LiveActive()
+	return f.TraceOut != "" || f.MetricsOut != "" || f.DoctorOut != "" || f.Occupancy || f.LiveActive() || f.CausalActive()
 }
 
 // LiveActive reports whether the live telemetry bus should attach.
 func (f *Flags) LiveActive() bool {
 	return f.LiveOut != "" || f.LiveHTTP != "" || f.FlightDir != ""
 }
+
+// CausalActive reports whether the causal request tracer should attach.
+func (f *Flags) CausalActive() bool { return f.CausalOut != "" }
 
 // nopWriteCloser keeps stdout open when a *-out flag is "-": the emit
 // helpers Close what they open, and closing os.Stdout would sabotage every
@@ -131,6 +139,24 @@ func (f *Flags) EmitDoctor(r JSONReport) error {
 	}
 	defer out.Close()
 	if err := r.WriteJSON(out); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// EmitCausal writes a causal exemplar document as JSON to the -causal-out
+// path (no-op when unset or when t is nil). Accepts the same JSONReport
+// interface as EmitDoctor so obs does not import its own subpackage.
+func (f *Flags) EmitCausal(t JSONReport) error {
+	if f.CausalOut == "" || t == nil {
+		return nil
+	}
+	out, err := openOut(f.CausalOut)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := t.WriteJSON(out); err != nil {
 		return err
 	}
 	return out.Close()

@@ -47,6 +47,7 @@ import (
 
 	"skyloft/internal/det"
 	"skyloft/internal/obs"
+	"skyloft/internal/obs/causal"
 	"skyloft/internal/obs/doctor"
 	"skyloft/internal/simtime"
 	"skyloft/internal/stats"
@@ -92,6 +93,10 @@ type Source struct {
 	Profiler *obs.Profiler
 	AppNames []string
 	Workers  int
+	// Causal, when non-nil, contributes the causal tracer's top-K
+	// slow-request exemplar summaries to each snapshot and its full
+	// exemplar document to flight-recorder bundles.
+	Causal *causal.Tracer
 }
 
 // AppWindow is one application's slice of a snapshot window.
@@ -149,6 +154,7 @@ type Snapshot struct {
 	Metrics     []MetricDelta       `json:"metrics,omitempty"`
 	Findings    []doctor.Finding    `json:"findings,omitempty"`
 	Occupancy   []obs.CoreOccupancy `json:"occupancy,omitempty"`
+	Exemplars   []causal.Summary    `json:"exemplars,omitempty"`
 	TotalEvents uint64              `json:"total_events"`
 	TotalSpans  int                 `json:"total_spans"`
 	Partial     bool                `json:"partial,omitempty"` // final flush of an unfinished window
@@ -479,6 +485,9 @@ func (b *Bus) buildSnapshot(end simtime.Time, partial bool) Snapshot {
 	}
 	if b.src.Profiler != nil {
 		snap.Occupancy = b.src.Profiler.Report()
+	}
+	if b.src.Causal != nil {
+		snap.Exemplars = b.src.Causal.Summaries()
 	}
 	if eng, ok := b.src.Clock.(*simtime.Engine); ok {
 		es := &EngineStats{

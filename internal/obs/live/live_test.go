@@ -17,6 +17,7 @@ import (
 	"skyloft/internal/cycles"
 	"skyloft/internal/hw"
 	"skyloft/internal/obs"
+	"skyloft/internal/obs/causal"
 	"skyloft/internal/obs/live"
 	"skyloft/internal/policy/rr"
 	"skyloft/internal/sched"
@@ -35,8 +36,11 @@ type liveRun struct {
 	dumps     int
 }
 
-// runLive executes the shared mixed workload with the bus attached. shards
-// selects the event core; mutate tweaks the bus config before Attach.
+// runLive executes the shared mixed workload with the bus attached, plus an
+// episode-mode causal tracer feeding exemplar summaries into the snapshots
+// — so every stream-invariance and replay witness below also covers the
+// tracer's exemplar selection. shards selects the event core; mutate tweaks
+// the bus config before Attach.
 func runLive(t *testing.T, seed uint64, shards int, mutate func(*live.Config)) liveRun {
 	t.Helper()
 	hwCfg := hw.DefaultConfig()
@@ -60,9 +64,12 @@ func runLive(t *testing.T, seed uint64, shards int, mutate func(*live.Config)) l
 	if mutate != nil {
 		mutate(&cfg)
 	}
+	ctr := causal.New(causal.Config{Episodes: true, TickPeriod: simtime.Second / 100_000})
+	ctr.Attach(tr)
+	ctr.SetDeliveryProber(e)
 	bus := live.Attach(cfg, live.Source{
 		Clock: m.Clock, Ring: tr, Registry: &reg,
-		AppNames: e.AppNames(), Workers: e.Workers(),
+		AppNames: e.AppNames(), Workers: e.Workers(), Causal: ctr,
 	})
 
 	for ai := 0; ai < 2; ai++ {
@@ -209,8 +216,9 @@ func TestHistorySince(t *testing.T) {
 
 // TestFlightDump forces the starvation detector with a threshold below any
 // real wakeup latency, and validates the recorder's bundle: trace.json is
-// parseable Perfetto JSON with events, manifest.json names the trigger, and
-// metrics.json is a valid registry snapshot.
+// parseable Perfetto JSON with events, manifest.json names the trigger and
+// carries exemplar summaries, metrics.json is a valid registry snapshot,
+// and exemplars.json is a causal document skyloft-explain can read.
 func TestFlightDump(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "bundle")
 	r := runLive(t, 13, 2, func(c *live.Config) {
@@ -222,10 +230,11 @@ func TestFlightDump(t *testing.T) {
 	}
 
 	var manifest struct {
-		Reason  string `json:"reason"`
-		AtNs    int64  `json:"at_ns"`
-		Trigger uint64 `json:"trigger"`
-		Events  int    `json:"events"`
+		Reason    string           `json:"reason"`
+		AtNs      int64            `json:"at_ns"`
+		Trigger   uint64           `json:"trigger"`
+		Events    int              `json:"events"`
+		Exemplars []causal.Summary `json:"exemplars"`
 	}
 	readJSON(t, filepath.Join(dir, "manifest.json"), &manifest)
 	if !strings.HasPrefix(manifest.Reason, "live finding: ") {
@@ -233,6 +242,9 @@ func TestFlightDump(t *testing.T) {
 	}
 	if manifest.Events == 0 {
 		t.Error("manifest reports zero retained events")
+	}
+	if len(manifest.Exemplars) == 0 {
+		t.Error("manifest carries no exemplar summaries")
 	}
 
 	var tj struct {
@@ -249,6 +261,31 @@ func TestFlightDump(t *testing.T) {
 	readJSON(t, filepath.Join(dir, "metrics.json"), &metrics)
 	if len(metrics) == 0 {
 		t.Error("metrics.json is empty")
+	}
+
+	// exemplars.json must round-trip through the skyloft-explain reader —
+	// both as the file and as the bundle directory — and its worst exemplar
+	// must hold the tiling invariant the tracer enforces.
+	doc, err := causal.ReadDocument(dir)
+	if err != nil {
+		t.Fatalf("reading exemplars.json: %v", err)
+	}
+	if len(doc.Exemplars) == 0 {
+		t.Fatal("exemplars.json retains no exemplars")
+	}
+	worst := doc.Worst()
+	if worst.Sojourn <= 0 {
+		t.Fatalf("worst exemplar has sojourn %v", worst.Sojourn)
+	}
+	if got := worst.Breakdown.Total(); got != worst.Sojourn {
+		t.Fatalf("worst exemplar edges sum to %v, sojourn %v", got, worst.Sojourn)
+	}
+	var buf bytes.Buffer
+	if err := causal.Explain(&buf, worst); err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if !strings.Contains(buf.String(), "critical path:") {
+		t.Fatalf("explain output lacks a critical path line:\n%s", buf.String())
 	}
 }
 

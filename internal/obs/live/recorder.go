@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"skyloft/internal/obs"
+	"skyloft/internal/obs/causal"
 	"skyloft/internal/obs/doctor"
 	"skyloft/internal/simtime"
 	"skyloft/internal/trace"
@@ -21,12 +22,17 @@ const DefaultRetain = 8
 // faults.InvariantChecker via Bus.Trigger — it dumps a post-mortem bundle
 // into Dir:
 //
-//	trace.json    Perfetto trace_event slice of the retained windows
-//	              (validated by cmd/tracecheck)
-//	metrics.json  metrics-registry snapshot at trigger time
-//	              (validated by cmd/metricscheck)
-//	manifest.json trigger reason + virtual time, the retained windows'
-//	              stats and findings, and bundle inventory
+//	trace.json     Perfetto trace_event slice of the retained windows
+//	               (validated by cmd/tracecheck), with causal flow events
+//	               when a causal tracer is attached
+//	metrics.json   metrics-registry snapshot at trigger time
+//	               (validated by cmd/metricscheck)
+//	exemplars.json causal tracer's slow-request exemplar document at
+//	               trigger time (readable by cmd/skyloft-explain), when
+//	               a causal tracer is attached
+//	manifest.json  trigger reason + virtual time, the retained windows'
+//	               stats and findings, exemplar summaries, and bundle
+//	               inventory
 //
 // Retention is bounded (K windows of events), so the recorder's memory is
 // O(K · events-per-window) regardless of run length — the black-box model:
@@ -58,12 +64,13 @@ type recWindow struct {
 
 // manifest is the bundle's machine-readable index.
 type manifest struct {
-	Reason   string       `json:"reason"`
-	At       simtime.Time `json:"at_ns"`
-	Trigger  uint64       `json:"trigger"`
-	Events   int          `json:"events"`
-	Windows  []recWindow  `json:"windows"`
-	AppNames []string     `json:"app_names,omitempty"`
+	Reason    string           `json:"reason"`
+	At        simtime.Time     `json:"at_ns"`
+	Trigger   uint64           `json:"trigger"`
+	Events    int              `json:"events"`
+	Windows   []recWindow      `json:"windows"`
+	AppNames  []string         `json:"app_names,omitempty"`
+	Exemplars []causal.Summary `json:"exemplars,omitempty"`
 }
 
 func (r *Recorder) attach(b *Bus) {
@@ -137,16 +144,25 @@ func (r *Recorder) dump(dir, reason string) error {
 	events = append(events, r.cur...)
 
 	src := r.src
+	cfg := obs.ExportConfig{NumCPUs: src.Workers, AppNames: src.AppNames, Instants: true}
+	if src.Causal != nil {
+		cfg.Flows = src.Causal.FlowJourneys()
+	}
 	if err := writeFile(filepath.Join(dir, "trace.json"), func(f *os.File) error {
-		return obs.WritePerfetto(f, events, obs.ExportConfig{
-			NumCPUs: src.Workers, AppNames: src.AppNames, Instants: true,
-		})
+		return obs.WritePerfetto(f, events, cfg)
 	}); err != nil {
 		return err
 	}
 	if src.Registry != nil {
 		if err := writeFile(filepath.Join(dir, "metrics.json"), func(f *os.File) error {
 			return src.Registry.WriteJSON(f)
+		}); err != nil {
+			return err
+		}
+	}
+	if src.Causal != nil {
+		if err := writeFile(filepath.Join(dir, "exemplars.json"), func(f *os.File) error {
+			return src.Causal.WriteJSON(f)
 		}); err != nil {
 			return err
 		}
@@ -158,6 +174,9 @@ func (r *Recorder) dump(dir, reason string) error {
 		Events:   len(events),
 		Windows:  r.wins,
 		AppNames: src.AppNames,
+	}
+	if src.Causal != nil {
+		m.Exemplars = src.Causal.Summaries()
 	}
 	return writeFile(filepath.Join(dir, "manifest.json"), func(f *os.File) error {
 		enc := json.NewEncoder(f)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"skyloft/internal/simtime"
 	"skyloft/internal/trace"
 )
 
@@ -26,6 +27,8 @@ type TraceEvent struct {
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`   // instant scope: "t" thread
 	Cat  string         `json:"cat,omitempty"` // event category
+	ID   uint64         `json:"id,omitempty"`  // flow-event binding ID
+	BP   string         `json:"bp,omitempty"`  // flow bind point ("e": enclosing)
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -33,6 +36,22 @@ type TraceEvent struct {
 type TraceFile struct {
 	TraceEvents     []TraceEvent `json:"traceEvents"`
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// FlowPoint is one step of a request journey: an instant on a CPU track
+// that a flow event should bind to.
+type FlowPoint struct {
+	At  simtime.Time
+	CPU int
+}
+
+// FlowJourney is a causal request journey rendered as a Perfetto flow: a
+// chain of arrows linking the slices the request executed in. The causal
+// tracer exports its retained exemplars this way.
+type FlowJourney struct {
+	ID     uint64
+	Name   string
+	Points []FlowPoint
 }
 
 // ExportConfig parameterises WritePerfetto.
@@ -47,6 +66,10 @@ type ExportConfig struct {
 	// Instants includes instant events (wakes, steals, app switches) in
 	// addition to the on-CPU slices.
 	Instants bool
+	// Flows adds flow events ("s"/"t"/"f") linking the slices each causal
+	// exemplar journey touched. Empty leaves the output byte-identical to
+	// pre-flow exports.
+	Flows []FlowJourney
 }
 
 const tracePid = 1
@@ -158,6 +181,41 @@ func BuildPerfetto(events []trace.Event, cfg ExportConfig) *TraceFile {
 	}
 	for cpu := range open {
 		closeSlice(cpu, lastAt, "window-end")
+	}
+
+	// Flow events: one "s" -> "t"* -> "f" chain per journey, clipped to the
+	// exported window so every arrow lands inside a real slice. Journeys
+	// whose clipped chain has fewer than two points are dropped (an arrow
+	// needs both ends).
+	if len(cfg.Flows) > 0 && len(events) > 0 {
+		firstAt := int64(events[0].At)
+		for _, fj := range cfg.Flows {
+			var pts []FlowPoint
+			for _, p := range fj.Points {
+				if at := int64(p.At); at >= firstAt && at <= lastAt && p.CPU >= 0 {
+					pts = append(pts, p)
+				}
+			}
+			if len(pts) < 2 {
+				continue
+			}
+			for i, p := range pts {
+				ph := "t"
+				bp := ""
+				switch i {
+				case 0:
+					ph = "s"
+				case len(pts) - 1:
+					ph = "f"
+					bp = "e"
+				}
+				add(TraceEvent{
+					Name: fj.Name, Ph: ph, Cat: "causal",
+					Ts: usec(int64(p.At)), Pid: tracePid, Tid: p.CPU,
+					ID: fj.ID, BP: bp,
+				})
+			}
+		}
 	}
 	return tf
 }

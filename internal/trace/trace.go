@@ -132,6 +132,7 @@ type Ring struct {
 	hash    uint64
 	counts  [Inject + 1]uint64
 	tap     func(Event)
+	taps    []func(Event)
 }
 
 // SetTap installs fn to observe every event as it is recorded (nil removes
@@ -141,6 +142,24 @@ type Ring struct {
 // exist for attach-only consumers (the live telemetry bus) that fold the
 // stream incrementally instead of draining the ring post-hoc.
 func (r *Ring) SetTap(fn func(Event)) { r.tap = fn }
+
+// AddTap installs an additional tap alongside the primary SetTap slot and
+// returns a handle for RemoveTap. Extra taps run after the primary tap, in
+// registration order, under the same contract: synchronous, read-only,
+// attach-only. Multiple observers (the live bus via SetTap, the causal
+// tracer via AddTap) can therefore share one ring.
+func (r *Ring) AddTap(fn func(Event)) int {
+	r.taps = append(r.taps, fn)
+	return len(r.taps) - 1
+}
+
+// RemoveTap uninstalls the extra tap registered under id. Slots are not
+// reused, so handles stay valid across removals of other taps.
+func (r *Ring) RemoveTap(id int) {
+	if id >= 0 && id < len(r.taps) {
+		r.taps[id] = nil
+	}
+}
 
 // New creates a ring holding up to capacity events.
 func New(capacity int) *Ring {
@@ -188,6 +207,11 @@ func (r *Ring) Record(ev Event) {
 	}
 	if r.tap != nil {
 		r.tap(ev)
+	}
+	for _, tap := range r.taps {
+		if tap != nil {
+			tap(ev)
+		}
 	}
 }
 

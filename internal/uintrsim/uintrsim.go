@@ -65,6 +65,8 @@ type Receiver struct {
 	dropped   uint64 // vector matched UINV but PIR was empty (§3.2 trap)
 	uirets    uint64 // UIRET instructions executed
 	rescans   uint64 // software rescans that re-raised a lost notification
+
+	lastDeliverAt simtime.Time // most recent user-interrupt delivery instant
 }
 
 // NewReceiver installs UINTR receive state on core and registers it as the
@@ -85,6 +87,12 @@ func (r *Receiver) UPID() *UPID { return r.upid }
 // Delivered and Dropped report delivery statistics.
 func (r *Receiver) Delivered() uint64 { return r.delivered }
 func (r *Receiver) Dropped() uint64   { return r.dropped }
+
+// LastDeliveredAt reports the instant of the most recent user-interrupt
+// delivery on this receiver (zero before any delivery). Observability-only:
+// the causal tracer uses it to annotate a dispatch hop with the UINTR
+// delivery that triggered it.
+func (r *Receiver) LastDeliveredAt() simtime.Time { return r.lastDeliverAt }
 
 // UIRets reports executed UIRET instructions (one per handler completion —
 // the Table 6 "user interrupt return" operation).
@@ -169,6 +177,7 @@ func (r *Receiver) dispatch(irq hw.IRQ) {
 	r.pendRanFor = ranFor
 	recvCost := r.receiveCost(irq)
 	r.delivered++
+	r.lastDeliverAt = r.core.Machine().Clock.Now()
 	r.core.Exec(recvCost, r.invokeFn)
 }
 
@@ -210,6 +219,7 @@ func (r *Receiver) UIRet() {
 	if r.uirr != 0 {
 		r.pendVec = r.takeVector()
 		r.delivered++
+		r.lastDeliverAt = r.core.Machine().Clock.Now()
 		r.pendRanFor = 0
 		if r.core.Running() {
 			r.pendRanFor = r.core.StopRun()
