@@ -18,16 +18,27 @@ vet:
 build:
 	$(GO) build ./...
 
-# Determinism lint: cmd/simlint statically enforces the reproducibility
-# invariants (no wall clock, no global rand, no unordered map iteration,
-# no bare goroutines or multi-case selects, no raw nanosecond literals) in
-# simulation code — see DESIGN.md §9. Also fails on files gofmt would
-# rewrite, so the tree stays formatted.
+# Determinism + ownership lint: cmd/simlint statically enforces the
+# reproducibility invariants (no wall clock, no global rand, no unordered
+# map iteration, no bare goroutines or multi-case selects, no raw
+# nanosecond literals — DESIGN.md §9) and the sharded engine's ownership
+# contract (lane-owned state confined to lane context, observer packages
+# attach-only, merge/dispatch-phase functions unreachable from lane
+# callbacks — DESIGN.md §14). Also fails on files gofmt would rewrite, so
+# the tree stays formatted.
 .PHONY: lint
 lint:
 	$(GO) run ./cmd/simlint ./internal/... ./cmd/...
 	@fmt=$$(gofmt -l .); \
 	if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
+
+# Fast loop for analyzer development: the fixture harness and unit tests of
+# the lint package only, skipping the whole-repo meta-test (that is what
+# `make lint` / TestSimlintRepoClean cover). Every analyzer's positive and
+# negative fixture cases run in a few seconds.
+.PHONY: lint-fixtures
+lint-fixtures:
+	$(GO) test -skip 'TestSimlintRepoClean' ./internal/lint/
 
 # Tier-1 as defined in ROADMAP.md.
 .PHONY: test

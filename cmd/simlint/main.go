@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	simlint [-show-suppressed] [-list] [pattern ...]
+//	simlint [-show-suppressed] [-list] [-json] [pattern ...]
 //
 // Patterns are module-relative ("./internal/...", "./cmd/skyloft-bench");
 // the default is every package under ./internal/... and ./cmd/... . The
@@ -27,6 +27,7 @@ import (
 func main() {
 	showSuppressed := flag.Bool("show-suppressed", false, "also print findings excused by //simlint:allow or the built-in allowlist")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit a byte-stable JSON report (module-relative paths, all diagnostics) instead of text")
 	flag.Parse()
 
 	if *list {
@@ -59,6 +60,22 @@ func main() {
 	}
 
 	analyzers := lint.All()
+
+	if *jsonOut {
+		var all []lint.Diagnostic
+		for _, pkg := range pkgs {
+			all = append(all, lint.Run(pkg, analyzers)...)
+		}
+		report := lint.BuildJSONReport(modRoot, len(pkgs), all)
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if report.Findings > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	findings, suppressed := 0, 0
 	for _, pkg := range pkgs {
 		for _, d := range lint.Run(pkg, analyzers) {

@@ -40,6 +40,7 @@ import (
 
 	"skyloft/internal/apps/server"
 	"skyloft/internal/bench"
+	"skyloft/internal/lint"
 	"skyloft/internal/obs"
 	"skyloft/internal/obs/doctor"
 	"skyloft/internal/obs/live"
@@ -141,6 +142,13 @@ func runChaos(plan string, seed uint64, traceOut string) {
 // path ("-" = stdout).
 func emitReport(path string, seed uint64, quick bool) {
 	r := bench.BuildReport(seed, quick)
+	// The static half of the gate rides along as a sentinel metric: the
+	// count of unsuppressed simlint findings over the whole module, pinned
+	// to zero with a zero-drift tolerance in benchdiff. A determinism or
+	// ownership violation then fails `make bench-gate` even on a branch
+	// that never ran `make lint`. Injected here rather than in BuildReport
+	// so the bench package's own tests stay free of the whole-module load.
+	r.Metrics["lint.findings"] = float64(lintFindings())
 	out := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
@@ -159,6 +167,38 @@ func emitReport(path string, seed uint64, quick bool) {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d metrics, %d finding scopes)\n",
 			path, len(r.Metrics), len(r.Findings))
 	}
+}
+
+// lintFindings runs the full simlint suite (all nine analyzers) over the
+// module and returns the unsuppressed finding count. The report must be
+// generated from inside the module tree; a report that silently skipped the
+// static gate would defeat the sentinel, so any load failure is fatal.
+func lintFindings() int {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "lint.findings sentinel:", err)
+		os.Exit(1)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fail(err)
+	}
+	modRoot, err := lint.FindModRoot(wd)
+	if err != nil {
+		fail(err)
+	}
+	loader, err := lint.NewLoader(modRoot)
+	if err != nil {
+		fail(err)
+	}
+	pkgs, err := loader.Load("./internal/...", "./cmd/...")
+	if err != nil {
+		fail(err)
+	}
+	n := 0
+	for _, pkg := range pkgs {
+		n += len(lint.Unsuppressed(lint.Run(pkg, lint.All())))
+	}
+	return n
 }
 
 func main() {

@@ -61,6 +61,11 @@ func DefaultDiffConfig() DiffConfig {
 			// exemplar_coverage sits near 1.0 and moves only when the
 			// journey lifecycle (open/bind/reply) changes.
 			"causal.": {Rel: 0.05, Abs: 0.01},
+			// lint.findings is the static-gate sentinel: the report embeds
+			// the module's unsuppressed simlint count, committed at 0. Zero
+			// tolerance on both axes — a single new determinism or
+			// ownership finding is a gate failure, never drift.
+			"lint.": {Rel: 0, Abs: 0},
 		},
 	}
 }

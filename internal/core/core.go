@@ -314,6 +314,11 @@ func (q *qcCont) run() {
 }
 
 // coreCtx is one isolated core's scheduler state.
+// coreCtx is one simulated CPU's scheduler state — coordinator-owned sim
+// state, mutated only inside serially-dispatched callbacks (timer IRQs,
+// run completions, wake IPIs) rooted at the engine's entry points.
+//
+//simlint:owner sim
 type coreCtx struct {
 	e         *Engine
 	idx       int // index into Engine.cores (worker index)
@@ -372,6 +377,8 @@ func (c *coreCtx) setCurr(t *sched.Thread) {
 
 // New builds an engine. Call NewApp then App.Start to add applications,
 // then Run to simulate.
+//
+//simlint:phase init
 func New(cfg Config) *Engine {
 	if cfg.Machine == nil || len(cfg.CPUs) == 0 {
 		panic("core: need a machine and at least one isolated CPU")
@@ -531,6 +538,8 @@ func (e *Engine) UINTRDeliveredAt(cpu int) simtime.Time {
 // NewApp registers an application. The first app binds active kernel
 // threads on every isolated core (the daemon path); later apps park theirs
 // (§4.1), in line with the Single Binding Rule.
+//
+//simlint:phase init
 func (e *Engine) NewApp(name string) *App {
 	a := &App{ID: len(e.apps), Name: name, e: e, meta: e.seg.RegisterApp(name)}
 	for _, c := range e.cores {
@@ -549,6 +558,8 @@ func (e *Engine) NewApp(name string) *App {
 }
 
 // Start creates a root thread for the app and submits it.
+//
+//simlint:phase dispatch
 func (a *App) Start(name string, body sched.Func) *sched.Thread {
 	t := a.e.newThread(a, name, body)
 	t.State = sched.Runnable
@@ -562,6 +573,8 @@ func (a *App) Start(name string, body sched.Func) *sched.Thread {
 // like a Start thread issuing those requests, but the engine interprets the
 // fixed body directly, so no goroutine or channel pair backs the thread.
 // onDone runs at the virtual instant the request completes.
+//
+//simlint:phase dispatch
 func (a *App) StartQuick(name string, service simtime.Duration, onDone func(now simtime.Time)) *sched.Thread {
 	e := a.e
 	u := e.getUthread(name, a.ID)
@@ -641,15 +654,21 @@ func (e *Engine) newThread(a *App, name string, body sched.Func) *sched.Thread {
 }
 
 // Run drives the simulation to the horizon.
+//
+//simlint:phase dispatch
 func (e *Engine) Run(horizon simtime.Time) { e.m.Clock.Run(horizon) }
 
 // RunUntil drives until pred holds or the horizon passes.
+//
+//simlint:phase dispatch
 func (e *Engine) RunUntil(horizon simtime.Time, pred func() bool) bool {
 	return e.m.Clock.RunUntil(horizon, pred)
 }
 
 // Shutdown stops timers and reaps every thread goroutine, including the
 // parked ones in the reuse pool.
+//
+//simlint:phase dispatch
 func (e *Engine) Shutdown() {
 	for _, u := range e.live {
 		// Under strict handoff every live thread is parked in a request at
@@ -857,6 +876,8 @@ func (e *Engine) wake(from *coreCtx, t *sched.Thread) {
 
 // ExternalWake wakes a thread from outside any thread context (packet
 // arrivals, timers) — the netsim.Waker interface.
+//
+//simlint:phase dispatch
 func (e *Engine) ExternalWake(t *sched.Thread) { e.wake(nil, t) }
 
 // ---- interrupt handling ----

@@ -131,6 +131,8 @@ func (f *ipiFlight) deliver() {
 // to lanes in contiguous groups (so a socket's cores share lanes and
 // cross-socket IPIs are the cross-shard traffic, matching the hardware's
 // own locality structure).
+//
+//simlint:phase init
 func NewMachine(cfg Config) *Machine {
 	if cfg.Cores <= 0 {
 		panic("hw: machine needs at least one core")
@@ -236,6 +238,8 @@ func (m *Machine) RegisterMetrics(r *obs.Registry) {
 // SendIPI posts an interrupt from core `from` to core `to` after the given
 // wire delay. The *send-side* cost must be charged separately by the caller
 // (it occupies the sender, not the wire).
+//
+//simlint:phase dispatch
 func (m *Machine) SendIPI(from, to int, vec uint8, delay simtime.Duration, data any) {
 	if to < 0 || to >= len(m.Cores) {
 		panic(fmt.Sprintf("hw: IPI to invalid core %d", to))
@@ -271,6 +275,11 @@ func (m *Machine) queueIPI(from, to int, vec uint8, delay simtime.Duration, data
 }
 
 // Core is one simulated hardware thread.
+// Core state is coordinator-owned (//simlint:owner sim): every mutation
+// happens inside serially-dispatched event callbacks, never on a lane
+// worker, and observer-grade packages may not reach it at all.
+//
+//simlint:owner sim
 type Core struct {
 	ID    int
 	Timer *LAPICTimer
@@ -319,6 +328,8 @@ func (c *Core) Lane() int { return c.lane }
 // SetIRQHandler installs the engine's interrupt handler. The handler runs
 // with further interrupts masked and must eventually call EndIRQ (possibly
 // from a later Exec continuation).
+//
+//simlint:phase init
 func (c *Core) SetIRQHandler(h func(IRQ)) { c.handler = h }
 
 // BusyTime reports the cumulative occupied (non-idle) time on this core.
@@ -329,6 +340,8 @@ func (c *Core) BusyTime() simtime.Duration { return c.busyAccum }
 // normal speed). Segments already in flight keep the factor they started
 // with. This models a transiently slow core — SMI storms, thermal
 // throttling, a noisy hypervisor neighbour — for fault injection.
+//
+//simlint:phase dispatch
 func (c *Core) SetStall(factor int64) {
 	if factor < 1 {
 		factor = 1
@@ -357,6 +370,8 @@ func (c *Core) free() simtime.Time {
 // bookkeeping starting when prior occupancy ends, then runs fn. fn may be
 // nil. Exec panics if an application segment is currently running: engines
 // must StopRun first.
+//
+//simlint:phase dispatch
 func (c *Core) Exec(cost simtime.Duration, fn func()) {
 	if c.running {
 		panic(fmt.Sprintf("hw: core %d Exec while a run segment is active", c.ID))
@@ -379,6 +394,8 @@ func (c *Core) Exec(cost simtime.Duration, fn func()) {
 // StartRun begins an interruptible application work segment of the given
 // length, invoking onDone when it completes uninterrupted. Only one segment
 // may be active at a time.
+//
+//simlint:phase dispatch
 func (c *Core) StartRun(d simtime.Duration, onDone func()) {
 	if c.running {
 		panic(fmt.Sprintf("hw: core %d StartRun while already running", c.ID))
@@ -410,6 +427,8 @@ func (c *Core) Running() bool { return c.running }
 // completed by now (in work units: on a stalled core, wall time is divided
 // by the straggler factor, so accounting stays in the task's own currency).
 // It panics if no segment is active.
+//
+//simlint:phase dispatch
 func (c *Core) StopRun() simtime.Duration {
 	if !c.running {
 		panic(fmt.Sprintf("hw: core %d StopRun with no active run", c.ID))
@@ -443,6 +462,8 @@ func (c *Core) StopRun() simtime.Duration {
 
 // Interrupt queues irq for delivery on this core. Interrupts with the same
 // vector coalesce while pending, matching local-APIC IRR semantics.
+//
+//simlint:phase dispatch
 func (c *Core) Interrupt(irq IRQ) {
 	for i := c.pendingHead; i < len(c.pending); i++ {
 		if c.pending[i].Vector == irq.Vector {
@@ -500,6 +521,8 @@ func (c *Core) InIRQ() bool { return c.inIRQ }
 
 // EndIRQ marks the current handler complete (the UIRET/IRET point) and
 // allows queued interrupts to be delivered once current occupancy drains.
+//
+//simlint:phase dispatch
 func (c *Core) EndIRQ() {
 	if !c.inIRQ {
 		panic(fmt.Sprintf("hw: core %d EndIRQ outside handler", c.ID))
@@ -511,6 +534,8 @@ func (c *Core) EndIRQ() {
 // LAPICTimer is the per-core local APIC timer, supporting periodic mode
 // (classic tick) and one-shot mode (TSC-deadline style, the basis of the
 // paper's §6 "kernel-bypass timer reset" / User-Timer Events discussion).
+//
+//simlint:owner sim
 type LAPICTimer struct {
 	core      *Core
 	period    simtime.Duration
@@ -524,6 +549,8 @@ type LAPICTimer struct {
 }
 
 // Start arms the timer with the given period and interrupt vector.
+//
+//simlint:phase dispatch
 func (t *LAPICTimer) Start(period simtime.Duration, vector uint8) {
 	if period <= 0 {
 		panic("hw: timer period must be positive")
@@ -536,6 +563,8 @@ func (t *LAPICTimer) Start(period simtime.Duration, vector uint8) {
 }
 
 // StartHz arms the timer at hz ticks per second.
+//
+//simlint:phase dispatch
 func (t *LAPICTimer) StartHz(hz int64, vector uint8) {
 	if hz <= 0 {
 		panic("hw: timer frequency must be positive")
@@ -545,6 +574,8 @@ func (t *LAPICTimer) StartHz(hz int64, vector uint8) {
 
 // ArmOneShot programs a single expiry after d (cancelling any pending
 // deadline or periodic programme) — the TSC-deadline register write.
+//
+//simlint:phase dispatch
 func (t *LAPICTimer) ArmOneShot(d simtime.Duration, vector uint8) {
 	if d <= 0 {
 		panic("hw: one-shot deadline must be positive")
@@ -571,6 +602,8 @@ func (t *LAPICTimer) ArmOneShot(d simtime.Duration, vector uint8) {
 }
 
 // Stop disarms the timer.
+//
+//simlint:phase dispatch
 func (t *LAPICTimer) Stop() {
 	t.enabled = false
 	t.oneshot = false

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BarrierPhase keeps the engine's phase machine honest: a function that is
+// effectively lane code — declared //simlint:phase lane or reachable from
+// a lane root — may not call a function explicitly declared merge- or
+// dispatch-phase. Those phases assume every lane worker is parked (merge:
+// all lanes joined at the barrier; dispatch: the serial coordinator), so
+// reaching them from a lane worker is a phase violation even when no owned
+// field is touched at the call site. Only *declared* phases indict a call:
+// an inferred phase on a shared helper (a Clock method reachable from both
+// dispatch and maintenance) would otherwise condemn every caller.
+var BarrierPhase = &Analyzer{
+	Name: "barrierphase",
+	Doc: "merge- or dispatch-phase function reached from lane context, where " +
+		"lane workers run concurrently between barriers",
+	InScope: moduleScope,
+	Run:     runBarrierPhase,
+}
+
+func runBarrierPhase(pass *Pass) {
+	pkg := pass.Lpkg
+	if pkg == nil || pkg.loader == nil {
+		return
+	}
+	l := pkg.loader
+	oa := l.ownerFor(pkg)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := pass.Info.Defs[fd.Name]
+			if fn == nil || oa.phaseOf(fn) != ctxLane {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				callee, ok := pass.Info.Uses[id].(*types.Func)
+				if !ok || callee == fn {
+					return true
+				}
+				ph, declared := l.declaredPhaseOf(callee)
+				if declared && (ph == phaseMerge || ph == phaseDispatch) {
+					pass.Reportf(id.Pos(),
+						"%s-phase function %s reached from lane context %s; lane workers run concurrently between barriers",
+						ph, callee.Name(), fn.Name())
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Package-level call graph with phase reachability — the whole-program
+// backbone of the ownercheck tier. Each package gets one ownerAnalysis,
+// memoized on the loader: edges connect every function declaration to the
+// same-package functions it calls *or references* (a function value passed
+// as a continuation executes in the phase of whoever invokes it; treating
+// references as edges keeps the engine's continuation style — method values
+// handed to the event core — inside the analysis instead of outside it).
+// Function literals are attributed to their enclosing declaration.
+//
+// Phase membership then propagates by BFS from the explicitly annotated
+// roots (//simlint:phase, //simlint:attachpoint): a helper reachable from a
+// lane root is effectively lane code; one reachable from init/dispatch/
+// merge roots or an attach point is effectively serial (those phases all
+// execute with no lane worker running). A function reachable from both is
+// treated as lane — the restrictive verdict — because its body must be
+// safe in the concurrent context too.
+
+type ownerAnalysis struct {
+	ann   *annots
+	edges map[types.Object][]types.Object
+
+	// effLane / effSerial: reachable from a lane root / from a serial root
+	// (init, dispatch, merge, or attach point). Overlap is legal — the
+	// engine's Clock methods run under both dispatch and barrier
+	// maintenance — and laneowner resolves it toward lane.
+	effLane   map[types.Object]bool
+	effSerial map[types.Object]bool
+}
+
+// ownerFor computes (memoized) the call-graph analysis of pkg.
+func (l *Loader) ownerFor(pkg *Package) *ownerAnalysis {
+	if oa, ok := l.owner[pkg.Path]; ok {
+		return oa
+	}
+	oa := buildOwnerAnalysis(pkg, l.annotsFor(pkg))
+	l.owner[pkg.Path] = oa
+	return oa
+}
+
+func buildOwnerAnalysis(pkg *Package, ann *annots) *ownerAnalysis {
+	oa := &ownerAnalysis{
+		ann:       ann,
+		edges:     map[types.Object][]types.Object{},
+		effLane:   map[types.Object]bool{},
+		effSerial: map[types.Object]bool{},
+	}
+	var laneRoots, serialRoots []types.Object
+	// Walk declarations in file order, not the annotation maps: edge-slice
+	// and root order feed the BFS (the reachability *sets* are order-free,
+	// but deterministic construction is this package's own house rule).
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn := pkg.Info.Defs[fd.Name]
+			if fn == nil {
+				continue
+			}
+			if fa, ok := ann.fn[fn]; ok {
+				if fa.hasPhase && fa.phase == phaseLane {
+					laneRoots = append(laneRoots, fn)
+				} else if fa.hasPhase || fa.attach != "" {
+					serialRoots = append(serialRoots, fn)
+				}
+			}
+			if fd.Body == nil {
+				continue
+			}
+			seen := map[types.Object]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				callee, ok := pkg.Info.Uses[id].(*types.Func)
+				if !ok || callee.Pkg() != pkg.Types || seen[callee] {
+					return true
+				}
+				seen[callee] = true
+				oa.edges[fn] = append(oa.edges[fn], callee)
+				return true
+			})
+		}
+	}
+	reach(oa.edges, laneRoots, oa.effLane)
+	reach(oa.edges, serialRoots, oa.effSerial)
+	return oa
+}
+
+// reach marks every node reachable from roots (inclusive) in out.
+func reach(edges map[types.Object][]types.Object, roots []types.Object, out map[types.Object]bool) {
+	queue := append([]types.Object(nil), roots...)
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if out[fn] {
+			continue
+		}
+		out[fn] = true
+		queue = append(queue, edges[fn]...)
+	}
+}
+
+// fnPhase classifies fn's effective execution context within its package.
+type fnPhase uint8
+
+const (
+	ctxNone   fnPhase = iota // unreachable from any declared phase root
+	ctxSerial                // init / dispatch / merge / attach point only
+	ctxLane                  // reachable from a lane root (restrictive)
+)
+
+func (oa *ownerAnalysis) phaseOf(fn types.Object) fnPhase {
+	switch {
+	case oa.effLane[fn]:
+		return ctxLane
+	case oa.effSerial[fn]:
+		return ctxSerial
+	}
+	return ctxNone
+}
+
+// declaredPhaseOf resolves fn's *explicit* annotation, looking across
+// package boundaries through the loader. Used by barrierphase, which only
+// trusts declared phases — an inferred phase on a shared helper would
+// indict every caller.
+func (l *Loader) declaredPhaseOf(fn *types.Func) (phase, bool) {
+	ann := l.annotsOfObj(fn)
+	if ann == nil {
+		return 0, false
+	}
+	fa, ok := ann.fn[fn]
+	if !ok || !fa.hasPhase {
+		return 0, false
+	}
+	return fa.phase, true
+}
+
+// attachReasonOf resolves fn's //simlint:attachpoint reason ("" if none),
+// looking across package boundaries through the loader.
+func (l *Loader) attachReasonOf(fn *types.Func) string {
+	ann := l.annotsOfObj(fn)
+	if ann == nil {
+		return ""
+	}
+	return ann.fn[fn].attach
+}
+
+// readonlyIface reports whether fn is an interface method asserted
+// //simlint:readonly in its declaring package.
+func (l *Loader) readonlyIface(fn *types.Func) bool {
+	ann := l.annotsOfObj(fn)
+	return ann != nil && ann.readonly[fn]
+}

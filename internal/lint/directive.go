@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/token"
 	"strings"
+
+	"skyloft/internal/det"
 )
 
 // Suppression directives. A finding is excused by writing
@@ -27,18 +29,20 @@ type directive struct {
 type lineRange struct {
 	start, end int
 	directive
+	pos  token.Position
+	used bool // matched at least one finding this run
 }
 
 // suppressor indexes every directive in a package by file and line span.
 type suppressor struct {
-	byFile map[string][]lineRange
+	byFile map[string][]*lineRange
 	// issues are directive-hygiene findings (missing reason, unknown
 	// analyzer); they are never themselves suppressible.
 	issues []Diagnostic
 }
 
 func collectDirectives(pkg *Package, known map[string]bool) *suppressor {
-	s := &suppressor{byFile: map[string][]lineRange{}}
+	s := &suppressor{byFile: map[string][]*lineRange{}}
 	for _, f := range pkg.Files {
 		filename := pkg.Fset.Position(f.Pos()).Filename
 
@@ -75,7 +79,7 @@ func collectDirectives(pkg *Package, known map[string]bool) *suppressor {
 					})
 					continue
 				}
-				span := lineRange{start: pos.Line, end: pos.Line + 1, directive: dir}
+				span := &lineRange{start: pos.Line, end: pos.Line + 1, directive: dir, pos: pos}
 				if ds, isDoc := docSpan[group]; isDoc {
 					span.start, span.end = ds.start, ds.end
 				}
@@ -120,8 +124,32 @@ func parseDirective(text string, known map[string]bool) (directive, string, bool
 func (s *suppressor) match(analyzer string, pos token.Position) (string, bool) {
 	for _, span := range s.byFile[pos.Filename] {
 		if span.analyzer == analyzer && pos.Line >= span.start && pos.Line <= span.end {
+			span.used = true
 			return span.reason, true
 		}
 	}
 	return "", false
+}
+
+// stale returns a hygiene finding for every well-formed directive that
+// matched zero diagnostics this run. Only analyzers in the active set —
+// those that ran on this package — are audited: a partial run (fixture
+// harness, a filtered driver invocation) or an out-of-scope package never
+// flags directives belonging to analyzers that did not patrol it.
+func (s *suppressor) stale(active map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range det.SortedKeys(s.byFile) {
+		for _, span := range s.byFile[file] {
+			if span.used || !active[span.analyzer] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Analyzer: "simlint",
+				Pos:      span.pos,
+				Message: "simlint:allow " + span.analyzer +
+					" matched no finding; the exception is stale — remove it or move it to the code it excuses",
+			})
+		}
+	}
+	return out
 }

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Machine-readable driver output (`simlint -json`). The encoding is
+// byte-stable for a given tree: struct field order is fixed, diagnostics
+// are fully ordered, and file paths are module-relative with forward
+// slashes so the same tree produces the same bytes on every machine.
+// CI and the bench sentinel (lint.findings in BENCH_skyloft.json) both
+// consume this.
+
+// JSONDiagnostic is one finding in the -json stream.
+type JSONDiagnostic struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// JSONReport is the whole -json document.
+type JSONReport struct {
+	Packages    int              `json:"packages"`
+	Findings    int              `json:"findings"`
+	Suppressed  int              `json:"suppressed"`
+	Diagnostics []JSONDiagnostic `json:"diagnostics"`
+}
+
+// BuildJSONReport converts raw diagnostics into the stable report form.
+// modRoot anchors the module-relative paths; diagnostics outside the
+// module (there are none in practice) keep their absolute path.
+func BuildJSONReport(modRoot string, npkgs int, diags []Diagnostic) JSONReport {
+	r := JSONReport{Packages: npkgs, Diagnostics: []JSONDiagnostic{}}
+	for _, d := range diags {
+		if d.Suppressed {
+			r.Suppressed++
+		} else {
+			r.Findings++
+		}
+		r.Diagnostics = append(r.Diagnostics, JSONDiagnostic{
+			Analyzer:   d.Analyzer,
+			File:       relPath(modRoot, d.Pos.Filename),
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+			Reason:     d.Reason,
+		})
+	}
+	sort.Slice(r.Diagnostics, func(i, j int) bool {
+		a, b := r.Diagnostics[i], r.Diagnostics[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return r
+}
+
+// WriteJSON encodes the report with a trailing newline. Encoding a struct
+// (never a map) keeps key order, and so the byte stream, deterministic.
+func (r JSONReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(r)
+}
+
+func relPath(modRoot, file string) string {
+	rel, err := filepath.Rel(modRoot, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}

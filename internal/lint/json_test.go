@@ -1,0 +1,109 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"skyloft/internal/lint"
+	"skyloft/internal/lint/linttest"
+)
+
+// TestJSONReport checks the -json report form: module-relative forward-slash
+// paths, fixed field order, full ordering over diagnostics, and the
+// findings/suppressed split matching the diagnostic stream.
+func TestJSONReport(t *testing.T) {
+	pkg := linttest.Load(t, "testdata/src/wallclock", "skyloft/internal/hw/wallclockjsonfixture")
+	diags := lint.Run(pkg, []*lint.Analyzer{lint.Wallclock})
+
+	modRoot, err := lint.FindModRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	report := lint.BuildJSONReport(modRoot, 1, diags)
+
+	if report.Packages != 1 {
+		t.Errorf("Packages = %d, want 1", report.Packages)
+	}
+	if got := report.Findings + report.Suppressed; got != len(diags) {
+		t.Errorf("Findings+Suppressed = %d, want %d diagnostics", got, len(diags))
+	}
+	if want := len(lint.Unsuppressed(diags)); report.Findings != want {
+		t.Errorf("Findings = %d, want %d", report.Findings, want)
+	}
+	if report.Findings == 0 || report.Suppressed == 0 {
+		t.Fatalf("fixture should produce both findings (%d) and suppressed (%d)", report.Findings, report.Suppressed)
+	}
+
+	for i, d := range report.Diagnostics {
+		if strings.HasPrefix(d.File, "/") || strings.Contains(d.File, "\\") {
+			t.Errorf("diagnostic %d path %q is not module-relative forward-slash", i, d.File)
+		}
+		if d.Suppressed && d.Reason == "" {
+			t.Errorf("suppressed diagnostic %d carries no reason", i)
+		}
+		if !d.Suppressed && d.Reason != "" {
+			t.Errorf("unsuppressed diagnostic %d carries a reason %q", i, d.Reason)
+		}
+		if i > 0 {
+			p := report.Diagnostics[i-1]
+			if p.File > d.File || (p.File == d.File && p.Line > d.Line) {
+				t.Errorf("diagnostics not ordered: %s:%d after %s:%d", p.File, p.Line, d.File, d.Line)
+			}
+		}
+	}
+}
+
+// TestJSONReportByteStable encodes the same diagnostic stream twice and
+// requires identical bytes — the report feeds benchdiff's byte-for-byte
+// comparison, so any nondeterminism (map iteration, unstable sort) breaks
+// the bench gate.
+func TestJSONReportByteStable(t *testing.T) {
+	pkg := linttest.Load(t, "testdata/src/wallclock", "skyloft/internal/hw/wallclockjsonbytesfixture")
+	modRoot, err := lint.FindModRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+
+	encode := func() []byte {
+		diags := lint.Run(pkg, []*lint.Analyzer{lint.Wallclock})
+		var buf bytes.Buffer
+		if err := lint.BuildJSONReport(modRoot, 1, diags).WriteJSON(&buf); err != nil {
+			t.Fatalf("encoding report: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := encode(), encode()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two encodings differ:\n%s\n---\n%s", a, b)
+	}
+	if a[len(a)-1] != '\n' {
+		t.Errorf("report does not end in a newline")
+	}
+
+	// The document must round-trip: a consumer sees the same counts.
+	var back lint.JSONReport
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if back.Findings == 0 {
+		t.Errorf("round-tripped report lost its findings")
+	}
+}
+
+// TestJSONReportEmpty pins the zero-findings shape: diagnostics must encode
+// as an empty array, not null, so consumers can index unconditionally.
+func TestJSONReportEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.BuildJSONReport("/mod", 3, nil).WriteJSON(&buf); err != nil {
+		t.Fatalf("encoding empty report: %v", err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, `"diagnostics": []`) {
+		t.Errorf("empty report encodes diagnostics as %q, want empty array", got)
+	}
+	if !strings.Contains(got, `"findings": 0`) {
+		t.Errorf("empty report findings != 0: %q", got)
+	}
+}

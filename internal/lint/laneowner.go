@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LaneOwner enforces the sharded engine's ownership discipline (DESIGN.md
+// §11/§14) statically: state annotated //simlint:owner may only be written
+// from functions inside a declared engine phase, and lane-owned ("lane"
+// class) state written from lane context must be lane-confined — reached
+// through the lane parameter or a lane-local handle — so no lane worker
+// can slip a write into another lane's shard between barriers.
+// Coordinator-owned ("sim" class) state may never be written from lane
+// context at all. Malformed ownership annotations are reported here too.
+var LaneOwner = &Analyzer{
+	Name: "laneowner",
+	Doc: "owner-annotated sim state written outside its declared engine phase, " +
+		"or from lane context without lane confinement",
+	InScope: moduleScope,
+	Run:     runLaneOwner,
+}
+
+func runLaneOwner(pass *Pass) {
+	pkg := pass.Lpkg
+	if pkg == nil || pkg.loader == nil {
+		return
+	}
+	l := pkg.loader
+	ann := l.annotsFor(pkg)
+	for _, h := range ann.hygiene {
+		pass.Reportf(h.pos, "%s", h.msg)
+	}
+	oa := l.ownerFor(pkg)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := pass.Info.Defs[fd.Name]
+			if fn == nil {
+				continue
+			}
+			checkOwnerWrites(pass, l, fd, oa.phaseOf(fn))
+		}
+	}
+}
+
+func checkOwnerWrites(pass *Pass, l *Loader, fd *ast.FuncDecl, ctx fnPhase) {
+	laneObj := laneParamOf(pass.Info, fd)
+	handles := laneHandles(pass.Info, fd.Body, laneObj)
+	check := func(lhs ast.Expr) {
+		lv := ownedLValue(pass.Info, l, lhs)
+		if lv.sel == nil {
+			return
+		}
+		field := lv.sel.Sel.Name
+		switch ctx {
+		case ctxSerial:
+			// init, dispatch, merge and attach points all run with no lane
+			// worker live: any owner write is safe here.
+		case ctxNone:
+			pass.Reportf(lv.sel.Pos(),
+				"owned field %s written outside any declared engine phase; annotate the entry point with //simlint:phase",
+				field)
+		case ctxLane:
+			if lv.class == "sim" {
+				pass.Reportf(lv.sel.Pos(),
+					"coordinator-owned field %s written from lane context; sim-class state is serial-only",
+					field)
+				return
+			}
+			if !laneConfined(pass.Info, l, lv, laneObj, handles) {
+				pass.Reportf(lv.sel.Pos(),
+					"lane-owned field %s written from lane context without lane confinement; index by the lane parameter or write through a lane-local handle",
+					field)
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(st.X)
+		}
+		return true
+	})
+}
+
+// lvalInfo describes one assignment target: the outermost owner-annotated
+// selection along it (nil when the write does not touch owned state), every
+// index expression on the path, and the root identifier.
+type lvalInfo struct {
+	sel   *ast.SelectorExpr
+	class string
+	idx   []ast.Expr
+	base  *ast.Ident
+}
+
+// ownedLValue walks an lvalue chain (selectors, indexes, derefs, parens)
+// from the written expression down to its root, looking up each field
+// selection's ownership through the loader (annotations of imported
+// packages included).
+func ownedLValue(info *types.Info, l *Loader, lhs ast.Expr) lvalInfo {
+	var out lvalInfo
+	e := lhs
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.IndexExpr:
+			out.idx = append(out.idx, x.Index)
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if out.sel == nil {
+				if s := info.Selections[x]; s != nil && s.Kind() == types.FieldVal {
+					if class, owned := l.ownedAt(s); owned {
+						out.sel, out.class = x, class
+					}
+				}
+			}
+			e = x.X
+		case *ast.Ident:
+			out.base = x
+			return out
+		default:
+			return out
+		}
+	}
+}
+
+// laneConfined reports whether a lane-context write provably stays inside
+// the writer's own lane: some index on the path is the lane parameter, or
+// the write goes through a lane-local handle (a variable loaded from a
+// lane-indexed container) or any owner-typed handle — instance ownership,
+// where whoever legitimately holds the instance owns its state.
+func laneConfined(info *types.Info, l *Loader, lv lvalInfo, laneObj types.Object, handles map[types.Object]bool) bool {
+	for _, ix := range lv.idx {
+		if id, ok := unparen(ix).(*ast.Ident); ok && laneObj != nil && info.Uses[id] == laneObj {
+			return true
+		}
+	}
+	if lv.base == nil {
+		return false
+	}
+	obj := info.Uses[lv.base]
+	if obj == nil {
+		obj = info.Defs[lv.base]
+	}
+	if obj == nil {
+		return false
+	}
+	if handles[obj] {
+		return true
+	}
+	// Instance ownership: a handle whose type is lane-class as a whole
+	// (Clock and friends) is owned by whoever legitimately holds it, so
+	// writes through it are confined. The rule deliberately excludes
+	// sim-class types — a shared coordinator struct reached from lane code
+	// is exactly the hazard, not a licence.
+	class, ok := ownerClassOf(l, obj)
+	return ok && class == "lane"
+}
+
+// ownerClassOf resolves the owner class of obj's type (pointer unwrapped)
+// when the named type is type-level owner-annotated.
+func ownerClassOf(l *Loader, obj types.Object) (string, bool) {
+	tn := namedTypeName(obj.Type())
+	if tn == nil {
+		return "", false
+	}
+	ann := l.annotsOfObj(tn)
+	if ann == nil {
+		return "", false
+	}
+	class, ok := ann.ownerType[tn]
+	return class, ok
+}
+
+// laneParamOf returns the object of fd's first int-typed parameter — the
+// lane index by the engine's calling convention — or nil.
+func laneParamOf(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if b, ok := obj.Type().(*types.Basic); ok && b.Kind() == types.Int {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// laneHandles collects the locals assigned from an expression indexed by
+// the lane parameter (c := e.lanes[l] and the like): writes through them
+// are confined to the writer's lane by construction.
+func laneHandles(info *types.Info, body *ast.BlockStmt, laneObj types.Object) map[types.Object]bool {
+	h := map[types.Object]bool{}
+	if laneObj == nil {
+		return h
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			ix, ok := unparen(as.Rhs[i]).(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			iid, ok := unparen(ix.Index).(*ast.Ident)
+			if !ok || info.Uses[iid] != laneObj {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				h[obj] = true
+			}
+		}
+		return true
+	})
+	return h
+}

@@ -20,15 +20,28 @@
 //   - durationlit: raw integer nanosecond literals where a simtime value is
 //     expected — typed constants only.
 //
+// A second, type-aware tier (DESIGN.md §14) enforces the sharded engine's
+// data-ownership contract over //simlint:owner and //simlint:phase
+// annotations, using a per-package call graph with phase reachability:
+//
+//   - laneowner: owner-annotated state written from the wrong phase —
+//     sim-class state is serial-only, lane-class writes must be confined
+//     to the worker's own lane.
+//   - attachonly: observer-grade packages (internal/obs/...) mutating sim
+//     state — observers read, and attach through declared attach points.
+//   - barrierphase: merge- or dispatch-phase functions reachable from
+//     lane-callback context — a structural race between barriers.
+//
 // Findings are suppressed with an explicit, reasoned directive:
 //
 //	//simlint:allow <analyzer> <reason>
 //
 // on (or immediately above) the offending line, or in a function's doc
 // comment to cover the whole function. A directive with an unknown analyzer
-// name or no reason is itself a finding. cmd/simlint is the driver; the
-// repo-wide meta-test (TestSimlintRepoClean) keeps the tree at zero
-// unsuppressed findings.
+// name or no reason is itself a finding, and so is a directive that matched
+// nothing while its analyzer patrolled the package (the stale-allow audit).
+// cmd/simlint is the driver; the repo-wide meta-test (TestSimlintRepoClean)
+// keeps the tree at zero unsuppressed findings.
 package lint
 
 import (
@@ -74,6 +87,11 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Lpkg is the loaded package itself, giving type-aware analyzers
+	// (ownercheck tier) the loader's whole-program view: dependency ASTs,
+	// ownership annotations, and the memoized call-graph analyses.
+	Lpkg *Package
+
 	diags *[]Diagnostic
 }
 
@@ -101,9 +119,14 @@ func (p *Pass) ReportSuppressedf(pos token.Pos, reason, format string, args ...a
 	})
 }
 
-// All returns the full simlint suite in reporting order.
+// All returns the full simlint suite in reporting order: the six
+// determinism analyzers (DESIGN.md §9) followed by the three type-aware
+// ownership analyzers (DESIGN.md §14).
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, GlobalRand, MapOrder, GoSpawn, SelectOrder, DurationLit}
+	return []*Analyzer{
+		Wallclock, GlobalRand, MapOrder, GoSpawn, SelectOrder, DurationLit,
+		LaneOwner, AttachOnly, BarrierPhase,
+	}
 }
 
 // Run applies the analyzers to pkg and returns every diagnostic — including
@@ -112,10 +135,12 @@ func All() []*Analyzer {
 // with Unsuppressed.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	active := map[string]bool{}
 	for _, a := range analyzers {
 		if a.InScope != nil && !a.InScope(pkg.Path) {
 			continue
 		}
+		active[a.Name] = true
 		a.Run(&Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
@@ -123,6 +148,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Path:     pkg.Path,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Lpkg:     pkg,
 			diags:    &diags,
 		})
 	}
@@ -145,6 +171,14 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			d.Suppressed, d.Reason = true, reason
 		}
 	}
+	// Stale-suppression audit: a directive that excused nothing this run is
+	// dead weight — the hazard it documented is gone, or the directive is
+	// mis-placed and silently not protecting anything. Either way it reads
+	// as a live, reviewed exception when it is not, so it is a hygiene
+	// finding (unsuppressible, like the other directive-hygiene checks).
+	// Only analyzers that actually patrolled this package count: a
+	// directive for an out-of-scope analyzer is dormant, not stale.
+	diags = append(diags, sup.stale(active)...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -123,6 +123,59 @@ func TestDurationLit(t *testing.T) {
 	linttest.Run(t, "testdata/src/durationlit", "skyloft/internal/core/durationlitfixture", lint.DurationLit)
 }
 
+// TestLaneOwner drives the lane-ownership analyzer through its fixture:
+// confined lane writes and serial-phase writes stay silent; cross-lane,
+// sim-class-from-lane and outside-any-phase writes are findings, as are
+// malformed ownership annotations.
+func TestLaneOwner(t *testing.T) {
+	linttest.Run(t, "testdata/src/laneowner", "skyloft/internal/simtime/laneownerfixture", lint.LaneOwner)
+}
+
+// TestBarrierPhase checks phase-reachability enforcement: merge- and
+// dispatch-declared functions may not be called or referenced from lane
+// context, while init-phase and unannotated callees stay legal.
+func TestBarrierPhase(t *testing.T) {
+	linttest.Run(t, "testdata/src/barrierphase", "skyloft/internal/simtime/barrierphasefixture", lint.BarrierPhase)
+}
+
+// TestAttachOnly loads the observer fixture under an obs path: mutating
+// methods of the real owned types (trace.Ring, simtime.EventCore) and
+// owner-field writes are findings; attach points and read-only queries are
+// not.
+func TestAttachOnly(t *testing.T) {
+	linttest.Run(t, "testdata/src/attachonly", "skyloft/internal/obs/attachonlyfixture", lint.AttachOnly)
+}
+
+// TestAttachOnlyOutOfScope loads the identical fixture under a
+// non-observer path: attachonly patrols internal/obs only, so nothing may
+// be reported at all.
+func TestAttachOnlyOutOfScope(t *testing.T) {
+	linttest.RunNoFindings(t, "testdata/src/attachonly", "skyloft/internal/core/attachonlyfixture", lint.AttachOnly)
+}
+
+// TestAttachPointAccounting checks the declared attach surface stays in
+// the raw diagnostic stream: tap registration/removal report as suppressed
+// findings carrying the attachpoint reason, so -show-suppressed and the
+// suppression summary expose every observer touch point.
+func TestAttachPointAccounting(t *testing.T) {
+	pkg := linttest.Load(t, "testdata/src/attachonly", "skyloft/internal/obs/attachpointaccfixture")
+	var attaches []lint.Diagnostic
+	for _, d := range lint.Run(pkg, []*lint.Analyzer{lint.AttachOnly}) {
+		if d.Suppressed {
+			attaches = append(attaches, d)
+		}
+	}
+	// AddTap in attach, RemoveTap in detach.
+	if len(attaches) != 2 {
+		t.Fatalf("suppressed attach-point findings = %d, want 2: %v", len(attaches), attaches)
+	}
+	for _, d := range attaches {
+		if !strings.Contains(d.Reason, "sanctioned observer mutation") {
+			t.Errorf("attach-point finding carries wrong reason %q: %s", d.Reason, d)
+		}
+	}
+}
+
 // TestDirectiveHygiene checks that malformed //simlint:allow directives are
 // themselves findings (pseudo-analyzer "simlint") and suppress nothing,
 // while a well-formed directive on the same package still works.

@@ -21,6 +21,24 @@ type Package struct {
 	Files []*ast.File // non-test files, in file-name order
 	Types *types.Package
 	Info  *types.Info
+
+	// loader is the Loader that produced this package. The type-aware
+	// analyzers use it to reach the ASTs and annotations of module-internal
+	// dependencies (whole-program view): every module import resolved during
+	// type-checking is cached in the loader, so dependency source is already
+	// parsed by the time an analyzer asks for it.
+	loader *Loader
+}
+
+// Loaded returns the already-loaded package for a module-internal import
+// path, or nil when the path is external (stdlib) or was never imported.
+// It never triggers a new load: analyzers only reason about source the
+// type-checker already pulled in.
+func (l *Loader) Loaded(path string) *Package {
+	if res, ok := l.pkgs[path]; ok && !res.busy && res.err == nil {
+		return res.pkg
+	}
+	return nil
 }
 
 // Loader loads module packages from source and type-checks them with no
@@ -35,6 +53,14 @@ type Loader struct {
 
 	std  types.Importer
 	pkgs map[string]*loadResult // keyed by import path
+
+	// Memoized results of the type-aware analyses, keyed by import path:
+	// ownership/phase annotations, the per-package call graph with phase
+	// reachability, and method mutation verdicts (shared across packages —
+	// *types.Func identity is loader-wide).
+	annots  map[string]*annots
+	owner   map[string]*ownerAnalysis
+	mutMemo map[*types.Func]mutVerdict
 }
 
 type loadResult struct {
@@ -60,6 +86,9 @@ func NewLoader(modRoot string) (*Loader, error) {
 		Fset:    fset,
 		std:     importer.ForCompiler(fset, "source", nil),
 		pkgs:    map[string]*loadResult{},
+		annots:  map[string]*annots{},
+		owner:   map[string]*ownerAnalysis{},
+		mutMemo: map[*types.Func]mutVerdict{},
 	}, nil
 }
 
@@ -243,11 +272,12 @@ func (l *Loader) loadDir(dir, importPath string) (*Package, error) {
 		return nil, fmt.Errorf("type-checking %s: %v (and %d more)", importPath, typeErrs[0], len(typeErrs)-1)
 	}
 	return &Package{
-		Path:  importPath,
-		Dir:   dir,
-		Fset:  l.Fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:   importPath,
+		Dir:    dir,
+		Fset:   l.Fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		loader: l,
 	}, nil
 }

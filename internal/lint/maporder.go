@@ -33,9 +33,7 @@ func runMapOrder(pass *Pass) {
 			if !ok {
 				return true
 			}
-			if t := pass.Info.TypeOf(rs.X); t == nil {
-				return true
-			} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			if t := pass.Info.TypeOf(rs.X); t == nil || !isMapType(t) {
 				return true
 			}
 			if why, pos := orderEscape(pass, rs); why != "" {
@@ -45,6 +43,40 @@ func runMapOrder(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// isMapType reports whether ranging a value of type t iterates a map. A
+// plain map underlying is the common case; a generic type parameter ranges
+// a map exactly when every structural term of its constraint is a map
+// (e.g. det.SortedKeys's own M ~map[K]V — found stale-allow audit, PR 9:
+// the type-param case used to slip through, leaving generic map ranges
+// unpatrolled and the det.go directive dead).
+func isMapType(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Map); ok {
+		return true
+	}
+	tp, ok := t.(*types.TypeParam)
+	if !ok {
+		return false
+	}
+	iface, ok := tp.Constraint().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	found := false
+	for i := 0; i < iface.NumEmbeddeds(); i++ {
+		u, ok := iface.EmbeddedType(i).(*types.Union)
+		if !ok {
+			continue
+		}
+		for j := 0; j < u.Len(); j++ {
+			if _, ok := u.Term(j).Type().Underlying().(*types.Map); !ok {
+				return false
+			}
+			found = true
+		}
+	}
+	return found
 }
 
 // orderEscape scans a map-range body for the first construct that lets

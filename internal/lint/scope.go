@@ -33,6 +33,14 @@ func notSimtimeScope(pkgPath string) bool {
 	return moduleScope(pkgPath) && pkgPath != "skyloft/internal/simtime"
 }
 
+// observerGrade reports pkgPath is an observability layer (internal/obs
+// subtree): attach-only readers of sim state, patrolled by attachonly.
+// Fixtures load under synthetic skyloft/internal/obs/... paths to opt in.
+func observerGrade(pkgPath string) bool {
+	return strings.HasPrefix(pkgPath, "skyloft/internal/obs/") ||
+		pkgPath == "skyloft/internal/obs"
+}
+
 // fileAllowlist maps analyzer name -> module-relative files (slash paths)
 // where findings are suppressed wholesale, with the reason reviewers see.
 var fileAllowlist = map[string]map[string]string{

@@ -1,0 +1,54 @@
+// Package barrierphase exercises the barrierphase analyzer: functions in
+// lane context — declared lane or reachable from a lane root — may not
+// call or reference functions explicitly declared merge- or
+// dispatch-phase, which assume every lane worker is parked. Init-phase
+// callees and unannotated helpers stay legal: only declared phases indict
+// a call.
+package barrierphase
+
+//simlint:owner sim
+type eng struct{ n int }
+
+//simlint:phase merge
+func (e *eng) mergeWindow() { e.n++ }
+
+//simlint:phase dispatch
+func (e *eng) post() { e.n++ }
+
+//simlint:phase init
+func (e *eng) setup() { e.n = 0 }
+
+func (e *eng) helper() {}
+
+// laneWork is a lane root; its own body and everything reachable from it
+// run concurrently between barriers.
+//
+//simlint:phase lane
+func (e *eng) laneWork() {
+	e.deep()
+	e.helper() // unannotated callee: legal
+	e.setup()  // init-declared callee: not barrierphase's concern
+}
+
+// deep inherits lane context by reachability.
+func (e *eng) deep() {
+	e.mergeWindow() // want `merge-phase function mergeWindow reached from lane context deep`
+	e.post()        // want `dispatch-phase function post reached from lane context deep`
+}
+
+// laneValue takes a method value — a reference, not a call — and is just
+// as guilty: the continuation executes wherever the holder invokes it.
+//
+//simlint:phase lane
+func (e *eng) laneValue() func() {
+	return e.mergeWindow // want `merge-phase function mergeWindow reached from lane context laneValue`
+}
+
+// serialCaller is dispatch context: calling merge machinery is the
+// coordinator's prerogative.
+//
+//simlint:phase dispatch
+func (e *eng) serialCaller() {
+	e.mergeWindow()
+	e.post()
+}

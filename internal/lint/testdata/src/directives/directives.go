@@ -15,3 +15,9 @@ func badDirectives() {
 func goodDirective() {
 	_ = time.Now() //simlint:allow wallclock fixture: well-formed directive suppresses cleanly
 }
+
+// staleDirective carries a well-formed allow that excuses nothing: the
+// stale-suppression audit reports it so dead exceptions cannot linger.
+func staleDirective() {
+	_ = 1 + 1 //simlint:allow wallclock fixture: nothing here reads the clock any more // want `simlint:allow wallclock matched no finding; the exception is stale`
+}

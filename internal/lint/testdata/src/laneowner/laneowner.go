@@ -1,0 +1,101 @@
+// Package laneowner exercises the laneowner analyzer: owner-annotated
+// state may only be written inside a declared engine phase, lane-context
+// writes must be lane-confined (lane-parameter index or lane-local
+// handle), and sim-class state is serial-only. Phase membership propagates
+// through the package call graph, including method references.
+package laneowner
+
+// engine mirrors the sharded coordinator: sim-owned as a whole, with one
+// lane-owned per-lane array.
+//
+//simlint:owner sim
+type engine struct {
+	now     int64
+	lanes   []*shard
+	perLane []uint64 //simlint:owner lane
+}
+
+// shard mirrors a per-lane clock: lane-owned as a type, so writes through
+// a legitimately-held handle are confined by construction.
+//
+//simlint:owner lane
+type shard struct {
+	ticks int64
+}
+
+//simlint:phase init
+func newEngine(n int) *engine {
+	e := &engine{lanes: make([]*shard, n), perLane: make([]uint64, n)}
+	for i := range e.lanes {
+		e.lanes[i] = &shard{}
+		e.perLane[i] = 0
+	}
+	e.now = 0
+	return e
+}
+
+// step is serial dispatch: owner writes are unrestricted, including to the
+// lane-owned array at an arbitrary index.
+//
+//simlint:phase dispatch
+func (e *engine) step() {
+	e.now++
+	e.perLane[0]++
+}
+
+// merge is the barrier phase — serial too.
+//
+//simlint:phase merge
+func (e *engine) merge() {
+	e.now++
+	e.lanes[0].ticks = 0
+}
+
+// maintain is a lane worker: confined writes only.
+//
+//simlint:phase lane
+func (e *engine) maintain(l int) {
+	e.perLane[l]++ // lane-parameter index: confined
+	c := e.lanes[l]
+	c.ticks++ // lane-local handle: confined
+	e.laneHelper(l)
+}
+
+// laneHelper is unannotated but reachable from the lane root, so it
+// inherits lane context.
+func (e *engine) laneHelper(l int) {
+	e.now = 0      // want `coordinator-owned field now written from lane context`
+	e.perLane[0]++ // want `lane-owned field perLane written from lane context without lane confinement`
+	e.perLane[l]++ // still confined
+}
+
+// laneRef hands a continuation to the event core; the reference edge keeps
+// the callee inside lane context even though it is never called directly.
+//
+//simlint:phase lane
+func (e *engine) laneRef(post func(fn func())) {
+	post(e.slipped)
+}
+
+func (e *engine) slipped() {
+	e.now++ // want `coordinator-owned field now written from lane context`
+}
+
+// orphan is reachable from no phase root at all: owner writes here are
+// outside the engine's phase machine entirely.
+func (e *engine) orphan() {
+	e.now++ // want `owned field now written outside any declared engine phase`
+}
+
+// unowned state stays invisible to the analyzer no matter the context.
+type scratch struct{ n int }
+
+func (s *scratch) bump() { s.n++ }
+
+//simlint:owner stack // want `simlint:owner needs an owner class \("lane" or "sim"\)`
+type wat struct{ n int }
+
+func misplaced() {
+	//simlint:phase lane // want `simlint:phase directive is not attached to a top-level type, field or function declaration`
+	_ = 0
+}

@@ -76,6 +76,9 @@ func (p *Profiler) Start() {
 		return
 	}
 	p.running = true
+	// The sampler schedules its own tick train; sampling instants are part
+	// of the configured observation, not a perturbation of sim state.
+	//simlint:allow attachonly the profiler owns its periodic sampling events
 	p.clock.After(p.interval, p.tickFn)
 }
 
@@ -102,6 +105,7 @@ func (p *Profiler) tick() {
 			p.app[i][s.App]++
 		}
 	}
+	//simlint:allow attachonly the profiler owns its periodic sampling events
 	p.clock.After(p.interval, p.tickFn)
 }
 

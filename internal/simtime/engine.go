@@ -50,7 +50,13 @@ const (
 // engine would have to delay them.
 const DefaultLookahead = Microsecond
 
-// Engine is the sharded event core. It implements EventCore.
+// Engine is the sharded event core. It implements EventCore. The Engine
+// as a whole is coordinator-owned sim state (DESIGN.md §14) — only the
+// serial phases (init, dispatch, merge) may write it — except for the
+// per-lane profiling arrays below, which are lane-owned: barrier-phase
+// lane workers write their own index and nothing else.
+//
+//simlint:owner sim
 type Engine struct {
 	lanes []*Clock
 
@@ -81,9 +87,11 @@ type Engine struct {
 	// touch only the owning lane's index (laneMigrated under parMaintain),
 	// so they are race-free and cost one increment on paths that already
 	// mutate lane state.
-	laneEvents    []uint64
-	laneMigrated  []uint64
-	laneBacklogHW []int
+	laneEvents []uint64 //simlint:owner lane
+	// laneMigrated is written by parMaintain's lane workers, each strictly
+	// at its own lane index — the canonical lane-owned counter.
+	laneMigrated  []uint64 //simlint:owner lane
+	laneBacklogHW []int    //simlint:owner lane
 
 	parallel bool // spawn lane workers for barrier maintenance
 }
@@ -91,6 +99,8 @@ type Engine struct {
 // NewEngine builds an engine with the given number of lanes. One lane is
 // the degenerate case (useful as a differential reference against the
 // serial Clock); counts above MaxLanes panic.
+//
+//simlint:phase init
 func NewEngine(lanes int) *Engine {
 	if lanes < 1 || lanes > MaxLanes {
 		panic(fmt.Sprintf("simtime: engine lanes %d outside [1, %d]", lanes, MaxLanes))
@@ -117,6 +127,8 @@ func NewEngine(lanes int) *Engine {
 func (e *Engine) Lanes() int { return len(e.lanes) }
 
 // SetLookahead overrides the conservative window (must be positive).
+//
+//simlint:phase init
 func (e *Engine) SetLookahead(d Duration) {
 	if d <= 0 {
 		panic("simtime: lookahead must be positive")
@@ -127,6 +139,8 @@ func (e *Engine) SetLookahead(d Duration) {
 // SetParallel forces barrier-phase lane workers on or off, overriding the
 // GOMAXPROCS autodetect (tests force it on so the race detector watches
 // the worker fan-out even on single-CPU hosts).
+//
+//simlint:phase init
 func (e *Engine) SetParallel(on bool) { e.parallel = on }
 
 // Now reports the current virtual time.
@@ -190,10 +204,14 @@ func (e *Engine) OverheadNs() uint64 {
 // Unlike the serial clock's per-dispatch observer, the engine audits when
 // lanes synchronise — the invariant checker sees every state at most one
 // lookahead window after the dispatch that produced it.
+//
+//simlint:phase init
 func (e *Engine) SetObserver(fn func()) { e.observer = fn }
 
 // Reset drains every lane and rewinds the engine for reuse, keeping the
 // pooled lane stores.
+//
+//simlint:phase init
 func (e *Engine) Reset() {
 	for i, c := range e.lanes {
 		c.Reset()
@@ -220,9 +238,13 @@ func (e *Engine) Reset() {
 // callback is currently executing (lane 0 outside any dispatch). Lane-local
 // work (a core's own timers, its run-segment completions) lands on its own
 // shard without every call site naming it.
+//
+//simlint:phase dispatch
 func (e *Engine) At(at Time, fn func()) Event { return e.AtOn(e.curLane, at, fn) }
 
 // After schedules fn after d on the posting lane.
+//
+//simlint:phase dispatch
 func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("simtime: negative delay %v", d))
@@ -231,6 +253,8 @@ func (e *Engine) After(d Duration, fn func()) Event {
 }
 
 // AfterOn schedules fn after d on the given lane.
+//
+//simlint:phase dispatch
 func (e *Engine) AfterOn(lane int, d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("simtime: negative delay %v", d))
@@ -242,6 +266,8 @@ func (e *Engine) AfterOn(lane int, d Duration, fn func()) Event {
 // posts (lane != the posting lane) are the conservative-synchronisation
 // traffic; posts inside the current safe window are additionally counted
 // as lookahead violations.
+//
+//simlint:phase dispatch
 func (e *Engine) AtOn(lane int, at Time, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("simtime: scheduling event at %v before now %v", at, e.now))
@@ -277,6 +303,8 @@ func (e *Engine) AtOn(lane int, at Time, fn func()) Event {
 }
 
 // Cancel removes a pending event, routing by the handle's lane bits.
+//
+//simlint:phase dispatch
 func (e *Engine) Cancel(ev Event) bool {
 	if ev.idx == 0 {
 		return false
@@ -359,6 +387,8 @@ func (e *Engine) step(l int) {
 // barrier opens a new safe window ending lookahead past t, runs the
 // per-lane maintenance (in parallel when enabled — disjoint lane state
 // only), and then the merge observer.
+//
+//simlint:phase merge
 func (e *Engine) barrier(t Time) {
 	e.barriers++
 	e.windowEnd = t + e.lookahead
@@ -393,6 +423,8 @@ func (e *Engine) maintenanceHeavy() bool {
 // wheel window so near-future inserts take the O(1) wheel path, and pull
 // newly in-window overflow events into the wheel. It never changes the
 // lane's minimum, so cached heads stay valid across barriers.
+//
+//simlint:phase lane
 func (e *Engine) maintain(l int) {
 	c := e.lanes[l]
 	if c.nWheel == 0 {
@@ -413,6 +445,8 @@ func (e *Engine) maintain(l int) {
 
 // Step dispatches the earliest pending event across all lanes, advancing
 // time to its deadline. It reports false when every lane is empty.
+//
+//simlint:phase dispatch
 func (e *Engine) Step() bool {
 	l := e.argmin()
 	if l < 0 {
@@ -424,6 +458,8 @@ func (e *Engine) Step() bool {
 
 // Run dispatches events until the lanes drain or virtual time would exceed
 // horizon. It returns the time of the last dispatched event.
+//
+//simlint:phase dispatch
 func (e *Engine) Run(horizon Time) Time {
 	for {
 		l := e.argmin()
@@ -436,6 +472,8 @@ func (e *Engine) Run(horizon Time) Time {
 
 // RunUntil dispatches events while pred returns false, stopping at
 // horizon. It reports whether pred became true.
+//
+//simlint:phase dispatch
 func (e *Engine) RunUntil(horizon Time, pred func() bool) bool {
 	for !pred() {
 		l := e.argmin()

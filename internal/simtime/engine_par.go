@@ -11,7 +11,11 @@ import "sync"
 
 // parMaintain runs maintain(l) for every lane concurrently and waits for
 // all of them — a full barrier, so the coordinator resumes only once every
-// lane's wheel window is advanced and its overflow migrated.
+// lane's wheel window is advanced and its overflow migrated. Declared lane
+// phase: everything reachable from here runs on concurrent lane workers,
+// so laneowner holds its writes to the lane-confinement rules.
+//
+//simlint:phase lane
 func (e *Engine) parMaintain() {
 	var wg sync.WaitGroup
 	wg.Add(len(e.lanes))

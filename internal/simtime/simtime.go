@@ -100,8 +100,15 @@ const (
 // implemented by both the serial Clock and the sharded Engine. The AtOn /
 // AfterOn variants carry a lane hint (which shard the event belongs to);
 // the serial Clock ignores it, making it the exact 1-lane degenerate case.
+//
+// The interface is owned sim state (DESIGN.md §14): attachonly treats any
+// unmarked method as mutating, since an interface has no body to analyze.
+// The query methods are asserted read-only; everything that schedules,
+// cancels or dispatches is off-limits to observer-grade packages.
+//
+//simlint:owner sim
 type EventCore interface {
-	Now() Time
+	Now() Time //simlint:readonly
 	At(at Time, fn func()) Event
 	After(d Duration, fn func()) Event
 	AtOn(lane int, at Time, fn func()) Event
@@ -111,12 +118,12 @@ type EventCore interface {
 	Run(horizon Time) Time
 	RunUntil(horizon Time, pred func() bool) bool
 	SetObserver(fn func())
-	Dispatched() uint64
-	Pending() int
-	StoreSize() int
-	StoreFree() int
-	Lanes() int
-	OverheadNs() uint64
+	Dispatched() uint64 //simlint:readonly
+	Pending() int       //simlint:readonly
+	StoreSize() int     //simlint:readonly
+	StoreFree() int     //simlint:readonly
+	Lanes() int         //simlint:readonly
+	OverheadNs() uint64 //simlint:readonly
 }
 
 // Modeled per-operation costs of the event core itself, in nanoseconds —
@@ -133,7 +140,14 @@ const (
 	cmpCostNs  = 1
 )
 
-// Clock owns virtual time and the pending-event store.
+// Clock owns virtual time and the pending-event store. A Clock is
+// lane-owned state (DESIGN.md §14): standalone it belongs to the serial
+// coordinator, and as one shard of an Engine it belongs to that lane
+// between barriers — either way, exactly one holder mutates it at a time,
+// and laneowner requires lane-context writes to go through a lane-local
+// handle.
+//
+//simlint:owner lane
 type Clock struct {
 	now      Time
 	seq      uint64
@@ -156,6 +170,8 @@ type Clock struct {
 }
 
 // NewClock returns a clock at time zero with an empty event queue.
+//
+//simlint:phase init
 func NewClock() *Clock {
 	return &Clock{nodes: make([]node, 1, 64)} // index 0 reserved as sentinel
 }
@@ -229,6 +245,8 @@ func (c *Clock) release(id uint32) {
 
 // At schedules fn to run at absolute time at. Scheduling in the past (before
 // Now) panics: it would silently reorder causality.
+//
+//simlint:phase dispatch
 func (c *Clock) At(at Time, fn func()) Event {
 	if at < c.now {
 		panic(fmt.Sprintf("simtime: scheduling event at %v before now %v", at, c.now))
@@ -251,6 +269,8 @@ func (c *Clock) schedule(at Time, fn func(), seq uint64) Event {
 }
 
 // After schedules fn to run d nanoseconds from now.
+//
+//simlint:phase dispatch
 func (c *Clock) After(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("simtime: negative delay %v", d))
@@ -261,12 +281,16 @@ func (c *Clock) After(d Duration, fn func()) Event {
 // AtOn schedules fn at absolute time at on a lane. The serial clock is one
 // lane, so the hint is ignored — it exists so machine code can thread shard
 // identity without caring which event core is underneath.
+//
+//simlint:phase dispatch
 func (c *Clock) AtOn(lane int, at Time, fn func()) Event {
 	_ = lane
 	return c.At(at, fn)
 }
 
 // AfterOn schedules fn after d on a lane (ignored on the serial clock).
+//
+//simlint:phase dispatch
 func (c *Clock) AfterOn(lane int, d Duration, fn func()) Event {
 	_ = lane
 	return c.After(d, fn)
@@ -274,6 +298,8 @@ func (c *Clock) AfterOn(lane int, d Duration, fn func()) Event {
 
 // Cancel removes a pending event. Cancelling the zero handle, or an event
 // that already fired or was already cancelled, is a no-op reporting false.
+//
+//simlint:phase dispatch
 func (c *Clock) Cancel(e Event) bool {
 	if e.idx == 0 || int(e.idx) >= len(c.nodes) {
 		return false
@@ -293,6 +319,8 @@ func (c *Clock) Cancel(e Event) bool {
 
 // Step dispatches the earliest pending event, advancing time to its
 // deadline. It reports false when the queue is empty.
+//
+//simlint:phase dispatch
 func (c *Clock) Step() bool {
 	id := c.takeMin()
 	if id == 0 {
@@ -317,10 +345,14 @@ func (c *Clock) Step() bool {
 // it). The observer must not schedule events or mutate simulation state —
 // it exists for after-each-event assertions (faults.InvariantChecker) and
 // must leave a run bit-identical to one without it.
+//
+//simlint:phase init
 func (c *Clock) SetObserver(fn func()) { c.observer = fn }
 
 // Run dispatches events until the queue drains or virtual time would exceed
 // horizon. It returns the time of the last dispatched event.
+//
+//simlint:phase dispatch
 func (c *Clock) Run(horizon Time) Time {
 	for {
 		t, ok := c.peekTime()
@@ -333,6 +365,8 @@ func (c *Clock) Run(horizon Time) Time {
 
 // RunUntil dispatches events while pred returns false, stopping at horizon.
 // It reports whether pred became true.
+//
+//simlint:phase dispatch
 func (c *Clock) RunUntil(horizon Time, pred func() bool) bool {
 	for !pred() {
 		t, ok := c.peekTime()
@@ -438,6 +472,8 @@ func (c *Clock) takeKnown(id uint32) {
 // free list, and reports how many it drained. Outstanding handles go stale
 // (Cancel on them reports false). Time, sequence and dispatch counters are
 // untouched — Drain bounds the store, not the clock's identity.
+//
+//simlint:phase init
 func (c *Clock) Drain() int {
 	drained := 0
 	for i := 1; i < len(c.nodes); i++ {
@@ -459,6 +495,8 @@ func (c *Clock) Drain() int {
 // store (and its high-water capacity) is kept, which is the point — a
 // sharded engine recycles per-lane clocks across runs without reallocating
 // their slabs.
+//
+//simlint:phase init
 func (c *Clock) Reset() {
 	c.Drain()
 	c.now = 0

@@ -124,6 +124,12 @@ func (e Event) String() string {
 }
 
 // Ring is a bounded event recorder. The zero value is unusable; use New.
+// The ring is coordinator-owned sim state: its hash and counters are part
+// of the determinism contract, so only serial engine phases may write it.
+// Observers attach through the declared tap surface (SetTap/AddTap/
+// RemoveTap) and never mutate anything else.
+//
+//simlint:owner sim
 type Ring struct {
 	buf     []Event
 	next    int
@@ -141,6 +147,8 @@ type Ring struct {
 // events the ring later evicts. Taps must not mutate simulation state: they
 // exist for attach-only consumers (the live telemetry bus) that fold the
 // stream incrementally instead of draining the ring post-hoc.
+//
+//simlint:attachpoint tap registration is the sanctioned observer mutation
 func (r *Ring) SetTap(fn func(Event)) { r.tap = fn }
 
 // AddTap installs an additional tap alongside the primary SetTap slot and
@@ -148,6 +156,8 @@ func (r *Ring) SetTap(fn func(Event)) { r.tap = fn }
 // registration order, under the same contract: synchronous, read-only,
 // attach-only. Multiple observers (the live bus via SetTap, the causal
 // tracer via AddTap) can therefore share one ring.
+//
+//simlint:attachpoint tap registration is the sanctioned observer mutation
 func (r *Ring) AddTap(fn func(Event)) int {
 	r.taps = append(r.taps, fn)
 	return len(r.taps) - 1
@@ -155,6 +165,8 @@ func (r *Ring) AddTap(fn func(Event)) int {
 
 // RemoveTap uninstalls the extra tap registered under id. Slots are not
 // reused, so handles stay valid across removals of other taps.
+//
+//simlint:attachpoint tap removal is the sanctioned observer mutation
 func (r *Ring) RemoveTap(id int) {
 	if id >= 0 && id < len(r.taps) {
 		r.taps[id] = nil
@@ -162,6 +174,8 @@ func (r *Ring) RemoveTap(id int) {
 }
 
 // New creates a ring holding up to capacity events.
+//
+//simlint:phase init
 func New(capacity int) *Ring {
 	if capacity <= 0 {
 		capacity = 1 << 16
@@ -186,6 +200,8 @@ func fnvMix(h, v uint64) uint64 {
 }
 
 // Record appends an event, evicting the oldest when full.
+//
+//simlint:phase dispatch
 func (r *Ring) Record(ev Event) {
 	r.total++
 	if int(ev.Kind) < len(r.counts) {
@@ -249,6 +265,8 @@ func (r *Ring) AppendEvents(dst []Event) []Event {
 // Reset discards the retained window so the ring starts filling afresh.
 // Lifetime state — Total, Counts and the determinism Hash — is preserved:
 // Reset bounds the *memory* of a long run, not its identity.
+//
+//simlint:phase init
 func (r *Ring) Reset() {
 	r.buf = r.buf[:0]
 	r.next = 0

@@ -256,3 +256,59 @@ func TestSummarise(t *testing.T) {
 		t.Fatalf("stats wrong: %+v", s)
 	}
 }
+
+// TestRemoveTapDuringRecord is the regression test for tap removal during
+// an in-flight window close: a live-telemetry window sink tears itself (or
+// a sibling) down from inside its own tap callback, while Record is still
+// iterating the tap slice. The contract: removing a LATER tap from an
+// earlier one takes effect within the same Record (the nil slot is skipped),
+// removing the CURRENT tap takes effect from the next Record, slots are
+// never reused so handles stay stable, and a tap added mid-Record must not
+// fire for the event already being delivered.
+func TestRemoveTapDuringRecord(t *testing.T) {
+	r := New(8)
+	var fired []string
+
+	var idSelf, idLater, idAdded int
+	idSelf = r.AddTap(func(ev Event) {
+		fired = append(fired, "self")
+		r.RemoveTap(idSelf)  // current tap: next Record onward
+		r.RemoveTap(idLater) // later tap: this Record already
+		idAdded = r.AddTap(func(Event) { fired = append(fired, "added") })
+	})
+	idLater = r.AddTap(func(ev Event) { fired = append(fired, "later") })
+
+	r.Record(Event{Kind: Dispatch})
+	// "self" ran and removed both itself and "later"; "later" must not have
+	// fired. The tap added mid-iteration grows the slice Record is ranging
+	// over — Go's range snapshots the length, so it must not fire either.
+	if got, want := strings.Join(fired, ","), "self"; got != want {
+		t.Fatalf("first Record fired %q, want %q", got, want)
+	}
+
+	fired = nil
+	r.Record(Event{Kind: Wake})
+	// Only the mid-flight addition survives to the second Record.
+	if got, want := strings.Join(fired, ","), "added"; got != want {
+		t.Fatalf("second Record fired %q, want %q", got, want)
+	}
+
+	// Slots are not reused: the handle minted inside the first Record is
+	// distinct from both removed slots, and removing a dead slot again (or
+	// an out-of-range id) is a no-op rather than a panic.
+	if idAdded == idSelf || idAdded == idLater {
+		t.Fatalf("tap slot reused: added=%d self=%d later=%d", idAdded, idSelf, idLater)
+	}
+	r.RemoveTap(idLater)
+	r.RemoveTap(-1)
+	r.RemoveTap(1 << 20)
+
+	fired = nil
+	r.Record(Event{Kind: Exit})
+	if got, want := strings.Join(fired, ","), "added"; got != want {
+		t.Fatalf("third Record fired %q, want %q", got, want)
+	}
+	if r.Total() != 3 {
+		t.Fatalf("Total = %d, want 3 (tap churn must not affect recording)", r.Total())
+	}
+}
