@@ -8,7 +8,7 @@ GO ?= go
 # allocation regressions in the event core, the observability smoke, and
 # the benchmark regression gate against the committed BENCH_skyloft.json.
 .PHONY: check
-check: vet build lint race bench-smoke trace-smoke live-smoke causal-smoke bench-gate chaos
+check: vet build lint race bench-smoke trace-smoke live-smoke causal-smoke bench-gate chaos oversub
 
 .PHONY: vet
 vet:
@@ -163,3 +163,15 @@ chaos:
 	$(GO) run ./cmd/skyloft-bench -chaos all -seed 1 -chaos-trace-out $$tmp/chaos.json && \
 	$(GO) run ./cmd/tracecheck -cpus 4 -faults 1 $$tmp/chaos.json && \
 	echo "chaos OK"
+
+# Oversubscription survival gate (DESIGN.md §15): run both lease presets
+# through replay + shard twins {0, 2, 4} — zero cross-app invariant
+# violations, forced revocation demonstrably engaged under the borrower
+# stall, measured reclaim p99 inside the protocol's bound — then run the
+# examples/multiapp smoke, which exits non-zero unless the injected
+# borrower stall actually forced at least one revocation.
+.PHONY: oversub
+oversub:
+	$(GO) run ./cmd/skyloft-bench -oversub all -seed 1
+	$(GO) run ./examples/multiapp > /dev/null
+	@echo "oversub OK"

@@ -27,6 +27,11 @@
 // metrics) into -flight-dir when a pathology detector or the invariant
 // checker fires.
 //
+// -oversub runs the oversubscription survival gate instead of the sweep:
+// each lease preset is replayed bit-identically across event-core shard
+// counts {0, 2, 4} with cross-app invariants audited at every transition,
+// and the measured reclaim p99 is checked against the protocol's bound.
+//
 // Usage:
 //
 //	skyloft-bench [-quick] [-seed 1] [-shards N] [-report-out BENCH_skyloft.json] [-report-only]
@@ -138,6 +143,47 @@ func runChaos(plan string, seed uint64, traceOut string) {
 	fmt.Printf("\nchaos gate OK: %d plans, deterministic replay, zero invariant violations\n", len(results))
 }
 
+// runOversub executes the oversubscription gate (preset = a preset name,
+// or "all") and prints the per-preset report: lease state-machine counters,
+// reclaim latency against the protocol's bound, fault injections, and the
+// cross-app invariant verdicts. Each preset is replayed and twinned across
+// event-core shard counts {0, 2, 4}. Exits non-zero on any gate failure.
+func runOversub(preset string, seed uint64) {
+	var names []string
+	if preset != "all" {
+		names = []string{preset}
+	}
+	results, failures := bench.OversubGate(seed, 0, names)
+
+	fmt.Printf("oversubscription gate: seed %d, %v per run (replay + shard twins %v)\n\n",
+		seed, bench.OversubDuration, []int{0, 2, 4})
+	fmt.Printf("%-22s %7s %8s %6s %7s %7s %9s %9s %6s %5s\n",
+		"preset", "grants", "reclaims", "coop", "forced", "evict", "p99", "bound", "miss", "viol")
+	for _, r := range results {
+		fmt.Printf("%-22s %7d %8d %6d %7d %7d %8.1fµ %8.1fµ %6d %5d\n",
+			r.Preset, r.Grants, r.Reclaims, r.CooperativeReturns, r.ForcedRevocations,
+			r.Evictions, r.ReclaimP99Us, r.ReclaimBoundUs, r.DeadlineMisses, r.Violations)
+	}
+	fmt.Println()
+	for _, r := range results {
+		fmt.Printf("%s: %d invariant checks, %d lease trace events, %d faults injected, %d revocation retries\n",
+			r.Preset, r.Checks, r.LeaseEvents, r.Injected.Total(), r.RevocationRetries)
+		for _, f := range r.Findings {
+			fmt.Printf("  doctor: [%s] app %d: %s\n", f.Code, f.App, f.Evidence)
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\noversubscription gate FAILED (%d):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\noversubscription gate OK: %d presets, bit-identical shard twins, "+
+		"forced revocation engaged, reclaim p99 inside bound\n", len(results))
+}
+
 // emitReport builds the machine-readable benchmark report and writes it to
 // path ("-" = stdout).
 func emitReport(path string, seed uint64, quick bool) {
@@ -210,6 +256,7 @@ func main() {
 	reportOnly := flag.Bool("report-only", false, "emit only the -report-out JSON, skip the printed tables")
 	chaos := flag.String("chaos", "", "run the chaos gate for a fault-plan preset (or \"all\") instead of the benchmark sweep")
 	chaosTraceOut := flag.String("chaos-trace-out", "", "with -chaos: write one chaos run's Perfetto trace_event JSON here")
+	oversub := flag.String("oversub", "", "run the oversubscription lease gate for a preset (or \"all\") instead of the benchmark sweep")
 	of := obs.BindFlags()
 	flag.Parse()
 	bench.SetSweepWorkers(*par)
@@ -221,6 +268,11 @@ func main() {
 			return
 		}
 		runChaos(*chaos, *seed, *chaosTraceOut)
+		return
+	}
+
+	if *oversub != "" {
+		runOversub(*oversub, *seed)
 		return
 	}
 

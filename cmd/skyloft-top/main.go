@@ -177,9 +177,16 @@ func render(s *live.Snapshot) string {
 		s.Seq, dur(simtime.Duration(w.Start)), dur(simtime.Duration(w.End)), tag)
 	fmt.Fprintf(&b, "events %d   spans %d   throughput %.0f rps   runq hw %d\n",
 		s.TotalEvents, s.TotalSpans, w.ThroughputRPS, w.RunqHighWater)
-	fmt.Fprintf(&b, "wake p50 %v  p99 %v  (%d samples)   disp %d  wake %d  preempt %d  steal %d  inject %d\n\n",
+	fmt.Fprintf(&b, "wake p50 %v  p99 %v  (%d samples)   disp %d  wake %d  preempt %d  steal %d  inject %d\n",
 		dur(w.WakeP50), dur(w.WakeP99), w.WakeSamples,
 		w.Dispatches, w.Wakes, w.Preempts, w.Steals, w.Injects)
+	if w.LeaseGrants+w.LeaseRevokes+w.LeaseReturns > 0 {
+		// Oversubscription runs only: watch the lease protocol work, and
+		// forced revocation engage, window by window.
+		fmt.Fprintf(&b, "leases: grant %d  forced-revoke %d  return %d\n",
+			w.LeaseGrants, w.LeaseRevokes, w.LeaseReturns)
+	}
+	b.WriteByte('\n')
 
 	if len(s.Apps) > 0 {
 		fmt.Fprintf(&b, "%-4s %-10s %9s %10s %10s %10s %10s\n",

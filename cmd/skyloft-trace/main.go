@@ -129,8 +129,8 @@ func main() {
 	}
 	s := tr.Counts()
 	fmt.Printf("trace: %d events (%d retained) — invariants OK\n", tr.Total(), len(events))
-	fmt.Printf("dispatches=%d preempts=%d yields=%d blocks=%d wakes=%d appswitches=%d steals=%d\n\n",
-		s.Dispatches, s.Preempts, s.Yields, s.Blocks, s.Wakes, s.AppSwitches, s.Steals)
+	fmt.Printf("dispatches=%d preempts=%d yields=%d blocks=%d wakes=%d appswitches=%d steals=%d leases=%d\n\n",
+		s.Dispatches, s.Preempts, s.Yields, s.Blocks, s.Wakes, s.AppSwitches, s.Steals, s.LeaseEvents)
 
 	spans := obs.BuildSpans(events)
 	if err := spans.Validate(); err != nil {

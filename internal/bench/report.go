@@ -195,6 +195,38 @@ func BuildReport(seed uint64, quick bool) *BenchReport {
 		r.Metrics[p+".p999_ratio"] = res.P999Ratio
 	}
 
+	// Oversubscription sentinels: both lease presets at the gate seed. The
+	// drift bands track the counters; the protocol's hard guarantees —
+	// reclaim p99 inside the configured bound, zero invariant violations,
+	// forced revocation actually engaged — are enforced loudly here, so a
+	// report can never be generated from a broken lease protocol.
+	for _, name := range OversubPresetNames() {
+		res, err := RunOversub(name, seed, 0)
+		if err != nil {
+			panic(fmt.Sprintf("bench: oversub sentinel %s: %v", name, err))
+		}
+		if res.ReclaimP99Us > res.ReclaimBoundUs {
+			panic(fmt.Sprintf("bench: %s reclaim p99 %.1fµs exceeds the %.1fµs bound",
+				name, res.ReclaimP99Us, res.ReclaimBoundUs))
+		}
+		if res.Violations > 0 {
+			msg := ""
+			if len(res.ViolationMsgs) > 0 {
+				msg = ": " + res.ViolationMsgs[0]
+			}
+			panic(fmt.Sprintf("bench: %s: %d invariant violations%s", name, res.Violations, msg))
+		}
+		if res.ForcedRevocations == 0 {
+			panic(fmt.Sprintf("bench: %s: forced revocation never engaged", name))
+		}
+		p := "lease." + name
+		r.Metrics[p+".grants"] = float64(res.Grants)
+		r.Metrics[p+".forced_revocations"] = float64(res.ForcedRevocations)
+		r.Metrics[p+".reclaim_p99_us"] = res.ReclaimP99Us
+		r.Metrics[p+".reclaim_bound_us"] = res.ReclaimBoundUs
+		r.Metrics[p+".invariant_violations"] = float64(res.Violations)
+	}
+
 	return r
 }
 

@@ -120,8 +120,19 @@ func (e *Engine) quantumCheck(w *coreCtx, t *sched.Thread, seq uint64) {
 }
 
 // sendPreempt delivers a preemption notification to worker w using the
-// configured mechanism.
+// configured mechanism, arming the hardening layer's retry when enabled.
 func (e *Engine) sendPreempt(w *coreCtx) {
+	e.sendPreemptOnce(w)
+	if e.hardenOn {
+		e.armPreemptRetry(w, w.preemptAim, e.harden.RetryTimeout, e.harden.RetryMax)
+	}
+}
+
+// sendPreemptOnce sends a single preemption notification with no retry
+// arming — the lease manager's reclaim path uses it directly because the
+// manager owns its own escalation schedule (grace deadline, doubling
+// resends, forced eviction).
+func (e *Engine) sendPreemptOnce(w *coreCtx) {
 	mech := e.ec.Preempt
 	w.preemptAim = w.assignSeq
 	e.special.hwc.Exec(mech.Send, nil)
@@ -132,9 +143,6 @@ func (e *Engine) sendPreempt(w *coreCtx) {
 		e.special.send.SendUIPI(w.dispUITT)
 	} else {
 		e.m.SendIPI(e.special.hwc.ID, w.hwc.ID, legacyPreemptVector, mech.Deliver, nil)
-	}
-	if e.hardenOn {
-		e.armPreemptRetry(w, w.preemptAim, e.harden.RetryTimeout, e.harden.RetryMax)
 	}
 }
 
@@ -154,6 +162,9 @@ func (e *Engine) preemptWorker(c *coreCtx, ranFor simtime.Duration, _ any) {
 	}
 	if c.inRuntime {
 		return // a runtime-op continuation owns the core; let it finish
+	}
+	if c.extLeased {
+		return // the core belongs to an external runtime; nothing to preempt
 	}
 	if t == nil || c.assignSeq != c.preemptAim {
 		// Stale notification: the assignment it was aimed at ended while
@@ -178,6 +189,7 @@ func (e *Engine) preemptWorker(c *coreCtx, ranFor simtime.Duration, _ any) {
 		e.allocState.beOnCore--
 		e.allocState.preempts++
 		e.allocState.beQueues[t.App] = append(e.allocState.beQueues[t.App], t)
+		e.leaseReturn(c)
 	} else {
 		t.EnqueuedAt = e.m.Now()
 		e.central.Enqueue(t, EnqPreempted)
@@ -192,6 +204,7 @@ func (e *Engine) workerBecameIdle(c *coreCtx) {
 	if c.beMode {
 		c.beMode = false
 		e.allocState.beOnCore--
+		e.leaseReturn(c) // the borrower yielded the core on its own
 	}
 	c.setCurr(nil)
 	c.assignSeq++ // any in-flight preemption for the old assignment is stale
@@ -235,6 +248,16 @@ func (e *Engine) allocCheck() {
 	// Congested: reclaim one BE core per check.
 	for _, c := range e.cores {
 		if c.beMode && c.curr != nil {
+			if e.leaseMgr != nil {
+				// Lease protocol: the manager sends the cooperative
+				// notification and owns the escalation to forced
+				// revocation. A false return means a reclaim is already
+				// in flight on this core — try the next one.
+				if e.leaseMgr.RequestReclaim(c.idx) {
+					return
+				}
+				continue
+			}
 			e.sendPreempt(c)
 			return
 		}
@@ -265,6 +288,16 @@ func (e *Engine) maybeGrantBE(w *coreCtx) bool {
 		w.beMode = true
 		e.allocState.beOnCore++
 		e.allocState.grants++
+		if e.leaseMgr != nil {
+			// The grant is an explicit lease: mark the kernel module first
+			// so the borrower's kthread may bind, then open the lease. A
+			// grant on a non-idle lease is a protocol bug, not a runtime
+			// condition.
+			e.mod.MarkLeased(w.hwc.ID, ca.LCApp, t.App)
+			if err := e.leaseMgr.Grant(w.idx, ca.LCApp, t.App); err != nil {
+				panic("core: " + err.Error())
+			}
+		}
 		e.assign(w, t)
 		return true
 	}

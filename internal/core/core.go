@@ -18,6 +18,7 @@ import (
 	"skyloft/internal/cycles"
 	"skyloft/internal/hw"
 	"skyloft/internal/kmod"
+	"skyloft/internal/lease"
 	"skyloft/internal/netsim"
 	"skyloft/internal/proc"
 	"skyloft/internal/rng"
@@ -114,6 +115,12 @@ type Config struct {
 	// per-core watchdog, UINTR notification rescans, and preemption-IPI
 	// retry-with-backoff (harden.go). Nil adds no events to a run.
 	Hardening *HardeningConfig
+	// Lease, when non-nil, runs best-effort core grants through the
+	// explicit lending/reclaim protocol (lease_client.go): every grant
+	// becomes a revocable lease whose reclaim latency is bounded by
+	// Lease.ReclaimBound even when the borrower stalls or drops IPIs.
+	// Requires Centralized mode. Nil keeps the bare allocator behaviour.
+	Lease *lease.Config
 }
 
 // App is one application scheduled by Skyloft.
@@ -186,6 +193,9 @@ type Engine struct {
 	dispatchArmed bool
 	dispatchFn    func()
 	allocState    allocState
+
+	// lease protocol state (lease_client.go), nil unless Config.Lease set
+	leaseMgr *lease.Manager
 
 	// interrupt-driven networking (netirq.go)
 	netNIC *netsim.NIC
@@ -352,6 +362,12 @@ type coreCtx struct {
 	// dispatch, IRQ and scheduling-loop pass (plain field write, always on).
 	lastProgress simtime.Time
 
+	// extLeased marks the core as lent to an external runtime (LendWorker):
+	// the engine neither schedules on it nor watchdogs it, and every legacy
+	// IRQ is forwarded to extIRQ until ReclaimWorker takes the core back.
+	extLeased bool
+	extIRQ    func(hw.IRQ)
+
 	// Reusable continuations for the per-tick hot path. At most one of each
 	// is in flight per core (interrupts stay masked until the continuation's
 	// UIRet; kick is guarded by the idle flag), so the arguments ride in
@@ -484,6 +500,12 @@ func New(cfg Config) *Engine {
 	if e.mode == Centralized && cfg.CoreAlloc != nil {
 		e.startCoreAllocator()
 	}
+	if cfg.Lease != nil {
+		if e.mode != Centralized {
+			panic("core: Config.Lease requires Centralized mode")
+		}
+		e.startLeaseManager()
+	}
 	if cfg.Hardening != nil {
 		e.hardenOn = true
 		e.harden = cfg.Hardening.withDefaults()
@@ -594,6 +616,11 @@ func (a *App) StartQuick(name string, service simtime.Duration, onDone func(now 
 
 // Engine reports the owning engine (so workload helpers can reach stats).
 func (a *App) Engine() *Engine { return a.e }
+
+// KThreadTID reports the app's kernel thread on hw core id (bound for app
+// 0, parked otherwise) — the handle a cross-runtime lease broker passes to
+// LendWorker to switch a lent core to the borrower.
+func (a *App) KThreadTID(core int) int { return a.meta.KThreadTIDs[core] }
 
 // getUthread pops a recycled uthread from the freelist (or builds a fresh
 // one with its once-per-slot closures) and resets the embedded descriptor
@@ -974,6 +1001,13 @@ func (e *Engine) tickResume(c *coreCtx) {
 // onLegacyIRQ handles non-UINTR preemption vectors (kernel IPI / signal
 // mechanisms used by baseline profiles).
 func (e *Engine) onLegacyIRQ(c *coreCtx, irq hw.IRQ) {
+	if c.extLeased && c.extIRQ != nil {
+		// The core is lent to an external runtime: every legacy vector is
+		// its traffic (timer ticks, resched and vacate IPIs). The delegate
+		// owns EndIRQ.
+		c.extIRQ(irq)
+		return
+	}
 	c.markProgress(e.m.Now())
 	if irq.Vector != legacyPreemptVector {
 		c.hwc.EndIRQ()

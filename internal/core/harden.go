@@ -90,6 +90,9 @@ func (e *Engine) startWatchdog() {
 func (e *Engine) watchdogSweep() {
 	now := e.m.Now()
 	for _, c := range e.cores {
+		if c.extLeased {
+			continue // a lent core's delivery substrate belongs to the borrower
+		}
 		if c.recv.Rescan() {
 			e.hardenStats.Rescans++
 			c.markProgress(now) // a notification is on its way
@@ -100,6 +103,9 @@ func (e *Engine) watchdogSweep() {
 	}
 	budget := e.harden.WatchdogBudget
 	for _, c := range e.cores {
+		if c.extLeased {
+			continue // the borrower runtime watches its own lent cores
+		}
 		if now-c.lastProgress < budget {
 			continue
 		}

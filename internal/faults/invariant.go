@@ -23,6 +23,15 @@ type SchedState interface {
 	WorkerSnapshot(i int) (idle bool, task int)
 }
 
+// LeaseAuditor extends the audit surface to core-lending state
+// (internal/lease.Manager implements it). The checker calls it on every
+// Check, so lease invariants — no-double-grant across applications,
+// lease/kmod ownership agreement, reclaim-deadline-respected — are audited
+// at every event boundary and therefore at every lease transition.
+type LeaseAuditor interface {
+	AuditLeases(violate func(format string, args ...any))
+}
+
 // maxViolations bounds the retained violation messages; the count keeps
 // incrementing past it.
 const maxViolations = 16
@@ -38,7 +47,10 @@ const maxViolations = 16
 //     idle worker owns no task;
 //  3. work conservation within Budget: a worker sitting idle while the
 //     runqueue is non-empty is tolerated only for the watchdog budget —
-//     longer means recovery failed and the core is wedged.
+//     longer means recovery failed and the core is wedged;
+//  4. cross-app lease integrity, when AttachLease installed an auditor:
+//     no core double-granted across applications, lease and kmod binding
+//     in agreement, and every reclaim inside its configured bound.
 //
 // The checker only reads; it never schedules events or mutates state, so
 // attaching it leaves the run bit-identical (the nil-plan perturbation
@@ -56,6 +68,8 @@ type InvariantChecker struct {
 	checks     uint64
 	count      uint64
 	violations []string
+
+	lease LeaseAuditor // optional cross-app lease audit (AttachLease)
 
 	owners []int // scratch: task ID owned by each worker
 
@@ -76,6 +90,10 @@ func NewChecker(s SchedState, budget simtime.Duration) *InvariantChecker {
 	}
 	return &InvariantChecker{s: s, Budget: budget, owners: make([]int, s.NumWorkers())}
 }
+
+// AttachLease registers a lease auditor; its invariants run on every
+// Check alongside the scheduler's own.
+func (ic *InvariantChecker) AttachLease(a LeaseAuditor) { ic.lease = a }
 
 // Checks reports how many times Check has run.
 func (ic *InvariantChecker) Checks() uint64 { return ic.checks }
@@ -149,5 +167,10 @@ func (ic *InvariantChecker) Check() {
 		}
 	} else {
 		ic.idleOpen = false
+	}
+
+	// 4. Cross-app lease invariants, when a lease manager is attached.
+	if ic.lease != nil {
+		ic.lease.AuditLeases(ic.violate)
 	}
 }

@@ -8,12 +8,28 @@
 package kmod
 
 import (
+	"errors"
 	"fmt"
 
 	"skyloft/internal/cycles"
 	"skyloft/internal/hw"
 	"skyloft/internal/simtime"
 	"skyloft/internal/uintrsim"
+)
+
+// Sentinel errors for the checked binding paths. Callers that drive the
+// lease protocol (internal/lease, core's allocator) match on these with
+// errors.Is; the messages returned wrap them with core/tid detail.
+var (
+	// ErrDoubleBind: the core already has an active kernel thread, so
+	// activating another would violate the Single Binding Rule.
+	ErrDoubleBind = errors.New("kmod: core already has an active kernel thread (Single Binding Rule)")
+	// ErrCoreLeased: the core is under an active lease and the requested
+	// thread belongs to neither the borrower nor the lender.
+	ErrCoreLeased = errors.New("kmod: core is leased to another application")
+	// ErrRevocationInProgress: the core's lease is being forcibly revoked;
+	// no new thread may bind until the revocation completes.
+	ErrRevocationInProgress = errors.New("kmod: core lease revocation in progress")
 )
 
 // KThread is one application's kernel thread bound to one isolated core.
@@ -31,6 +47,16 @@ func (k *KThread) String() string {
 	return fmt.Sprintf("kthread{tid=%d app=%d core=%d active=%v}", k.TID, k.App, k.Core, k.Active)
 }
 
+// leaseMark is the module's view of one core lease: who lent it, who
+// borrowed it, and whether forced revocation is underway. The module does
+// not run the lease state machine (internal/lease does); it only enforces
+// that binding operations on a leased core name the two parties.
+type leaseMark struct {
+	lender   int
+	borrower int
+	revoking bool
+}
+
 // Module is the simulated kernel module instance.
 type Module struct {
 	m       *hw.Machine
@@ -38,6 +64,7 @@ type Module struct {
 	nextTID int
 	cores   map[int][]*KThread // isolated core -> its kernel threads
 	byTID   map[int]*KThread
+	leases  map[int]leaseMark // isolated core -> active lease, if any
 
 	switches uint64 // inter-application switches performed
 }
@@ -50,11 +77,82 @@ func New(m *hw.Machine, cost cycles.Model) *Module {
 		nextTID: 1000, // arbitrary TID base, like real gettid() values
 		cores:   make(map[int][]*KThread),
 		byTID:   make(map[int]*KThread),
+		leases:  make(map[int]leaseMark),
 	}
 }
 
 // Switches reports the number of inter-application switches performed.
 func (mod *Module) Switches() uint64 { return mod.switches }
+
+// MarkLeased records that core is lent by lender to borrower. While the
+// mark is present, SwitchTo/Wakeup reject kernel threads of any third
+// application on that core, and the checked bind paths refuse new
+// bindings that are neither party's.
+func (mod *Module) MarkLeased(core, lender, borrower int) {
+	mod.leases[core] = leaseMark{lender: lender, borrower: borrower}
+}
+
+// MarkRevoking flags core's lease as under forced revocation: parking new
+// threads onto the core is refused until the revocation completes and the
+// mark is cleared.
+func (mod *Module) MarkRevoking(core int) {
+	if l, ok := mod.leases[core]; ok {
+		l.revoking = true
+		mod.leases[core] = l
+	}
+}
+
+// ClearLease removes core's lease mark (reclaim or voluntary return
+// completed).
+func (mod *Module) ClearLease(core int) { delete(mod.leases, core) }
+
+// LeaseOn reports core's lease mark, if any.
+func (mod *Module) LeaseOn(core int) (lender, borrower int, revoking, ok bool) {
+	l, ok := mod.leases[core]
+	return l.lender, l.borrower, l.revoking, ok
+}
+
+// leaseAllows reports whether app may bind/activate a thread on a leased
+// core: only the lease's two parties may, everyone else gets ErrCoreLeased.
+func (mod *Module) leaseAllows(core, app int) error {
+	l, ok := mod.leases[core]
+	if !ok || app == l.borrower || app == l.lender {
+		return nil
+	}
+	return fmt.Errorf("kmod: core %d leased by app %d to app %d, app %d may not bind: %w",
+		core, l.lender, l.borrower, app, ErrCoreLeased)
+}
+
+// CreateBoundChecked is CreateBound with the violation paths surfaced as
+// errors instead of a panic: binding an active thread onto a core that
+// already has one reports ErrDoubleBind, and binding a third party's
+// thread onto a leased core reports ErrCoreLeased. On error no thread is
+// created and ownership is untouched.
+func (mod *Module) CreateBoundChecked(app, core int) (*KThread, error) {
+	if curr := mod.ActiveOn(core); curr != nil {
+		return nil, fmt.Errorf("kmod: core %d already has active kthread tid %d: %w",
+			core, curr.TID, ErrDoubleBind)
+	}
+	if err := mod.leaseAllows(core, app); err != nil {
+		return nil, err
+	}
+	return mod.CreateBound(app, core), nil
+}
+
+// ParkOnCPUChecked is ParkOnCPU with the lease paths surfaced as errors: a
+// core whose lease is under forced revocation accepts no new bindings
+// (ErrRevocationInProgress), and a leased core accepts only the lease
+// parties (ErrCoreLeased). On error no thread is created.
+func (mod *Module) ParkOnCPUChecked(app, core int) (*KThread, error) {
+	if l, ok := mod.leases[core]; ok && l.revoking {
+		return nil, fmt.Errorf("kmod: core %d lease (app %d -> app %d) is being revoked: %w",
+			core, l.lender, l.borrower, ErrRevocationInProgress)
+	}
+	if err := mod.leaseAllows(core, app); err != nil {
+		return nil, err
+	}
+	return mod.ParkOnCPU(app, core), nil
+}
 
 // CreateBound registers a new kernel thread for app bound to core and
 // immediately active — the daemon's initial threads (§4.1), which bind with
@@ -95,6 +193,9 @@ func (mod *Module) SwitchTo(targetTID int) (simtime.Duration, error) {
 	if !ok {
 		return 0, fmt.Errorf("kmod: no kernel thread with tid %d", targetTID)
 	}
+	if err := mod.leaseAllows(target.Core, target.App); err != nil {
+		return 0, err
+	}
 	var curr *KThread
 	for _, t := range mod.cores[target.Core] {
 		if t.Active {
@@ -127,10 +228,13 @@ func (mod *Module) Wakeup(targetTID int) (simtime.Duration, error) {
 	if target.Active {
 		return 0, nil
 	}
+	if err := mod.leaseAllows(target.Core, target.App); err != nil {
+		return 0, err
+	}
 	for _, t := range mod.cores[target.Core] {
 		if t.Active {
-			return 0, fmt.Errorf("kmod: core %d already has active kthread tid %d (Single Binding Rule)",
-				target.Core, t.TID)
+			return 0, fmt.Errorf("kmod: core %d already has active kthread tid %d: %w",
+				target.Core, t.TID, ErrDoubleBind)
 		}
 	}
 	target.Active = true

@@ -1,6 +1,7 @@
 package kmod
 
 import (
+	"errors"
 	"testing"
 
 	"skyloft/internal/cycles"
@@ -114,6 +115,147 @@ func TestSwitchToUnknownTID(t *testing.T) {
 	}
 	if _, err := mod.Wakeup(424242); err == nil {
 		t.Fatal("Wakeup unknown tid did not error")
+	}
+}
+
+// TestBindingViolationPaths drives every documented way an application can
+// try to break the Single Binding Rule or an active lease, and checks that
+// each returns its sentinel error with ownership untouched — no silent
+// corruption, no panic.
+func TestBindingViolationPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		// setup returns the core under test with threads/leases arranged.
+		setup   func(mod *Module) int
+		attempt func(mod *Module, core int) error
+		want    error
+	}{
+		{
+			name:  "double-bind",
+			setup: func(mod *Module) int { mod.CreateBound(0, 1); return 1 },
+			attempt: func(mod *Module, core int) error {
+				_, err := mod.CreateBoundChecked(1, core)
+				return err
+			},
+			want: ErrDoubleBind,
+		},
+		{
+			name: "wakeup-double-bind",
+			setup: func(mod *Module) int {
+				mod.CreateBound(0, 1)
+				mod.ParkOnCPU(1, 1)
+				return 1
+			},
+			attempt: func(mod *Module, core int) error {
+				_, err := mod.Wakeup(mod.FindFor(1, core).TID)
+				return err
+			},
+			want: ErrDoubleBind,
+		},
+		{
+			name: "bind-while-leased",
+			setup: func(mod *Module) int {
+				mod.ParkOnCPU(0, 2) // lender's thread, parked (core idle)
+				mod.ParkOnCPU(7, 2) // borrower's thread
+				mod.MarkLeased(2, 0, 7)
+				return 2
+			},
+			attempt: func(mod *Module, core int) error {
+				_, err := mod.CreateBoundChecked(3, core) // third party
+				return err
+			},
+			want: ErrCoreLeased,
+		},
+		{
+			name: "park-while-leased",
+			setup: func(mod *Module) int {
+				mod.CreateBound(0, 2)
+				mod.ParkOnCPU(7, 2)
+				mod.MarkLeased(2, 0, 7)
+				return 2
+			},
+			attempt: func(mod *Module, core int) error {
+				_, err := mod.ParkOnCPUChecked(3, core)
+				return err
+			},
+			want: ErrCoreLeased,
+		},
+		{
+			name: "switch-to-third-party-while-leased",
+			setup: func(mod *Module) int {
+				mod.CreateBound(0, 3)
+				mod.ParkOnCPU(7, 3)
+				mod.ParkOnCPU(4, 3) // bound before the lease began
+				mod.MarkLeased(3, 0, 7)
+				return 3
+			},
+			attempt: func(mod *Module, core int) error {
+				_, err := mod.SwitchTo(mod.FindFor(4, core).TID)
+				return err
+			},
+			want: ErrCoreLeased,
+		},
+		{
+			name: "park-during-revocation",
+			setup: func(mod *Module) int {
+				mod.CreateBound(0, 0)
+				mod.ParkOnCPU(7, 0)
+				mod.MarkLeased(0, 0, 7)
+				mod.MarkRevoking(0)
+				return 0
+			},
+			attempt: func(mod *Module, core int) error {
+				// Even the borrower may not park a NEW thread onto a core
+				// whose lease is being forcibly revoked.
+				_, err := mod.ParkOnCPUChecked(7, core)
+				return err
+			},
+			want: ErrRevocationInProgress,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mod := newModule()
+			core := tc.setup(mod)
+			before := mod.ActiveOn(core)
+			nThreads := len(mod.ThreadsOn(core))
+			err := tc.attempt(mod, core)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			if got := mod.ActiveOn(core); got != before {
+				t.Fatalf("active thread changed across failed op: %v -> %v", before, got)
+			}
+			if got := len(mod.ThreadsOn(core)); got != nThreads {
+				t.Fatalf("failed op leaked a binding: %d threads -> %d", nThreads, got)
+			}
+		})
+	}
+}
+
+// TestLeasePartiesMayBind checks the positive paths: the lease's borrower
+// and lender stay fully operational on the leased core, and clearing the
+// lease reopens it to everyone.
+func TestLeasePartiesMayBind(t *testing.T) {
+	mod := newModule()
+	lender := mod.CreateBound(0, 1)
+	borrower := mod.ParkOnCPU(7, 1)
+	mod.MarkLeased(1, 0, 7)
+	if _, err := mod.SwitchTo(borrower.TID); err != nil {
+		t.Fatalf("borrower switch under lease: %v", err)
+	}
+	if _, err := mod.SwitchTo(lender.TID); err != nil {
+		t.Fatalf("lender reclaim switch under lease: %v", err)
+	}
+	if l, b, revoking, ok := mod.LeaseOn(1); !ok || l != 0 || b != 7 || revoking {
+		t.Fatalf("LeaseOn = (%d,%d,%v,%v)", l, b, revoking, ok)
+	}
+	mod.ClearLease(1)
+	if _, _, _, ok := mod.LeaseOn(1); ok {
+		t.Fatal("lease survived ClearLease")
+	}
+	if _, err := mod.ParkOnCPUChecked(3, 1); err != nil {
+		t.Fatalf("third party park after ClearLease: %v", err)
 	}
 }
 

@@ -91,6 +91,13 @@ const (
 	signalVector  uint8 = 0xFE
 )
 
+// VacateVector asks a lent CPU to go offline: re-home its runnable threads
+// to the kernel's remaining CPUs and hand the core back to the lender (the
+// cooperative half of the cross-runtime lease protocol). It rides the same
+// IPI fabric as everything else, so a fault plan may drop it — the lease
+// broker escalates to ForceOffline when that happens.
+const VacateVector uint8 = 0xFC
+
 // Config assembles a kernel instance.
 type Config struct {
 	Machine *hw.Machine
@@ -98,6 +105,18 @@ type Config struct {
 	Params  Params
 	Class   Class // default class for spawned threads
 	Seed    uint64
+	// LentCPUs are additional core IDs the kernel may be lent at runtime
+	// (the cross-runtime lease protocol). They start offline — no IRQ
+	// handler claimed, no tick started; the lender owns the core and
+	// forwards its IRQs via ForwardIRQ while a lease is active — and join
+	// the scheduling set only between Online and the next vacate.
+	LentCPUs []int
+	// IdleSteal enables newidle balancing: a CPU that finds its own queues
+	// empty pulls one thread from the busiest online CPU. Off by default so
+	// the Linux baseline curves keep their stock placement behaviour;
+	// multi-runtime lease scenarios enable it so lent cores drain queued
+	// work immediately.
+	IdleSteal bool
 }
 
 // Kernel is the simulated scheduling subsystem.
@@ -120,6 +139,13 @@ type Kernel struct {
 
 	ctxSwitches uint64
 	reschedIPIs uint64
+
+	// cross-runtime lending state (lent.go)
+	idleSteal  bool
+	hasLent    bool
+	vacates    uint64 // lent CPUs handed back (cooperative or forced)
+	onlines    uint64 // lent CPUs brought into the scheduling set
+	vacateHook func(kidx int)
 
 	// Runnable-queue depth across all CPUs (rt + fair sets) and its
 	// high-water mark, maintained by enqueue/pickNext.
@@ -158,6 +184,12 @@ type cpu struct {
 
 	rt   []*sched.Thread // RR/FIFO queue (single priority level)
 	fair []*sched.Thread // CFS/EEVDF/Batch runnable set
+
+	// offline marks a CPU outside the scheduling set: lent cores before
+	// Online and after a vacate. offlinePending defers a vacate IPI's
+	// offlining until the interrupt unwinds (afterIRQ).
+	offline        bool
+	offlinePending bool
 
 	minVruntime float64
 	needResched bool
@@ -206,9 +238,24 @@ func New(cfg Config) *Kernel {
 		WakeupHist: stats.NewHist(),
 		liveProc:   make(map[*sched.Thread]*proc.P),
 	}
-	for i, id := range cfg.CPUs {
+	k.idleSteal = cfg.IdleSteal
+	k.hasLent = len(cfg.LentCPUs) > 0
+	allCPUs := cfg.CPUs
+	if k.hasLent {
+		allCPUs = append(append([]int(nil), cfg.CPUs...), cfg.LentCPUs...)
+	}
+	for i, id := range allCPUs {
 		c := &cpu{k: k, idx: i, hwc: cfg.Machine.Cores[id], idle: true}
-		c.hwc.SetIRQHandler(c.handleIRQ)
+		if i >= len(cfg.CPUs) {
+			// A lent CPU starts offline: the lending runtime owns the core
+			// (its IRQ handler, its timer) and forwards IRQs to us only
+			// while a lease is active. Online claims nothing either — the
+			// lender keeps the handler and we see traffic via ForwardIRQ.
+			c.offline = true
+			c.idle = false
+		} else {
+			c.hwc.SetIRQHandler(c.handleIRQ)
+		}
 		c.irqDoneFn = func() {
 			c.hwc.EndIRQ()
 			c.afterIRQ()
@@ -227,7 +274,7 @@ func New(cfg Config) *Kernel {
 			c.k.resumeThread(c, t, nil)
 		}
 		k.cpus = append(k.cpus, c)
-		if k.params.HZ > 0 {
+		if k.params.HZ > 0 && !c.offline {
 			c.hwc.Timer.StartHz(k.params.HZ, tickVector)
 		}
 	}
@@ -252,6 +299,12 @@ func (k *Kernel) RegisterMetrics(r *obs.Registry) {
 	r.GaugeFunc("ksched.runq.depth", func() int64 { return k.runqDepth })
 	r.GaugeFunc("ksched.runq.high_water", func() int64 { return k.runqHighWater })
 	r.AttachHistogram("ksched.wakeup_latency", k.WakeupHist)
+	// Lending counters exist only when lent CPUs are configured, so the
+	// Linux baselines keep their exact pre-lease metric key set.
+	if k.hasLent {
+		r.CounterFunc("ksched.lease.onlines", func() uint64 { return k.onlines })
+		r.CounterFunc("ksched.lease.vacates", func() uint64 { return k.vacates })
+	}
 	k.m.RegisterMetrics(r)
 }
 
@@ -331,6 +384,8 @@ func (c *cpu) handleIRQ(irq hw.IRQ) {
 		c.reschedIPI()
 	case signalVector:
 		c.signalIPI()
+	case VacateVector:
+		c.vacateIPI()
 	default:
 		c.hwc.EndIRQ()
 	}
@@ -402,6 +457,14 @@ func (c *cpu) afterIRQ() {
 			c.account(c.curr, ran)
 		}
 	}
+	if c.offlinePending && !c.inRuntime {
+		// A vacate IPI landed: re-home everything and hand the core back.
+		// Mid-runtime-op the flag stays set and the next interrupt (or the
+		// broker's forced escalation) completes it.
+		c.offlinePending = false
+		c.doOffline()
+		return
+	}
 	if c.curr == nil {
 		c.schedule()
 		return
@@ -460,7 +523,14 @@ func (c *cpu) account(t *sched.Thread, ran simtime.Duration) {
 // schedule picks the next thread (__schedule()): RT classes first, then the
 // fair classes. With nothing runnable the CPU idles.
 func (c *cpu) schedule() {
+	if c.offline {
+		return // a stale kick landed after the CPU went offline
+	}
 	next := c.pickNext()
+	if next == nil && c.k.idleSteal {
+		// newidle balance: pull one thread from the busiest online CPU.
+		next = c.k.stealOne(c)
+	}
 	if next == nil {
 		c.setCurr(nil)
 		c.idle = true
@@ -529,7 +599,7 @@ func (c *cpu) enqueue(t *sched.Thread, wakeup bool) {
 
 // kickIfIdle restarts an idle CPU's scheduling loop.
 func (k *Kernel) kickIfIdle(c *cpu) {
-	if !c.idle {
+	if !c.idle || c.offline {
 		return
 	}
 	c.idle = false
@@ -545,24 +615,33 @@ func (k *Kernel) kickIfIdle(c *cpu) {
 
 // placeWakeup selects the CPU for a waking (or new) thread:
 // prefer the last CPU if idle, then any idle CPU, then the last CPU.
+// Offline (lent-away) CPUs never receive work.
 func (k *Kernel) placeWakeup(t *sched.Thread) *cpu {
-	if t.LastCPU >= 0 && k.cpus[t.LastCPU].idle {
-		return k.cpus[t.LastCPU]
-	}
-	for _, c := range k.cpus {
-		if c.idle {
+	if t.LastCPU >= 0 {
+		if c := k.cpus[t.LastCPU]; c.idle && !c.offline {
 			return c
 		}
 	}
-	if t.LastCPU >= 0 {
+	for _, c := range k.cpus {
+		if c.idle && !c.offline {
+			return c
+		}
+	}
+	if t.LastCPU >= 0 && !k.cpus[t.LastCPU].offline {
 		return k.cpus[t.LastCPU]
 	}
-	// Least-loaded fallback.
-	best := k.cpus[0]
-	for _, c := range k.cpus[1:] {
-		if c.queueLen() < best.queueLen() {
+	// Least-loaded online fallback.
+	var best *cpu
+	for _, c := range k.cpus {
+		if c.offline {
+			continue
+		}
+		if best == nil || c.queueLen() < best.queueLen() {
 			best = c
 		}
+	}
+	if best == nil {
+		panic("ksched: no online CPU to place a thread on")
 	}
 	return best
 }

@@ -480,3 +480,92 @@ func TestBatchClassNeverWakeupPreempts(t *testing.T) {
 		t.Fatalf("batch thread ran after %v — batch must not wakeup-preempt", wait)
 	}
 }
+
+// TestLentCPULifecycle drives the borrower half of the cross-runtime lease
+// protocol: a lent CPU starts offline, joins the scheduling set on Online,
+// re-homes its work on a cooperative vacate IPI, and can be yanked through
+// ForceOffline when the IPI path is unavailable.
+func TestLentCPULifecycle(t *testing.T) {
+	cfg := hw.DefaultConfig()
+	m := hw.NewMachine(cfg)
+	k := New(Config{
+		Machine:   m,
+		CPUs:      []int{0},
+		LentCPUs:  []int{2},
+		Params:    TunedParams(),
+		Class:     ClassCFS,
+		Seed:      1,
+		IdleSteal: true,
+	})
+	t.Cleanup(k.Shutdown)
+	const lent = 1 // kidx of the lent CPU
+
+	// The lender owns the hw core's handler and forwards while lent — the
+	// test plays lender.
+	m.Cores[2].SetIRQHandler(func(irq hw.IRQ) { k.ForwardIRQ(lent, irq) })
+
+	if !k.Offline(lent) {
+		t.Fatal("lent CPU not offline at start")
+	}
+	for i := 0; i < 3; i++ {
+		k.Start("spin", func(e sched.Env) {
+			for e.Now() < 20*simtime.Millisecond {
+				e.Run(50 * simtime.Microsecond)
+			}
+		})
+	}
+
+	var vacated []int
+	k.SetVacateHook(func(kidx int) { vacated = append(vacated, kidx) })
+
+	m.Clock.AfterOn(0, simtime.Duration(1*simtime.Millisecond), func() { k.Online(lent) })
+	k.Run(simtime.Time(3 * simtime.Millisecond))
+	if k.Offline(lent) {
+		t.Fatal("lent CPU still offline after Online")
+	}
+	if k.cpus[lent].lastRan == nil {
+		t.Fatal("lent CPU never ran a thread (idle steal broken?)")
+	}
+
+	// Cooperative vacate: an IPI re-homes the CPU's work.
+	m.SendIPI(-2, 2, VacateVector, k.cost.KernelIPIDeliver, nil)
+	k.Run(simtime.Time(4 * simtime.Millisecond))
+	if !k.Offline(lent) {
+		t.Fatal("vacate IPI did not offline the lent CPU")
+	}
+	if len(vacated) != 1 || vacated[0] != lent {
+		t.Fatalf("vacate hook calls = %v", vacated)
+	}
+	if k.runqDepth < 0 {
+		t.Fatalf("runqDepth corrupted by migration: %d", k.runqDepth)
+	}
+
+	// Forced path: online again, then yank without any IPI, retrying over
+	// non-quiescent windows like the lease broker does.
+	k.Online(lent)
+	var force func()
+	force = func() {
+		if !k.ForceOffline(lent) {
+			m.Clock.AfterOn(0, simtime.Microsecond, force)
+		}
+	}
+	m.Clock.AfterOn(0, simtime.Duration(5*simtime.Millisecond)-simtime.Duration(m.Now()), force)
+	k.Run(simtime.Time(8 * simtime.Millisecond))
+	if !k.Offline(lent) {
+		t.Fatal("ForceOffline never landed")
+	}
+	if len(vacated) != 2 {
+		t.Fatalf("vacate hook calls after force = %v", vacated)
+	}
+	if k.vacates != 2 || k.onlines != 2 {
+		t.Fatalf("counters: vacates=%d onlines=%d", k.vacates, k.onlines)
+	}
+
+	// The home CPU keeps making progress with everything re-homed.
+	before := k.threads[0].CPUTime + k.threads[1].CPUTime + k.threads[2].CPUTime
+	k.Run(simtime.Time(12 * simtime.Millisecond))
+	after := k.threads[0].CPUTime + k.threads[1].CPUTime + k.threads[2].CPUTime
+	if after <= before {
+		t.Fatal("no progress after the lent CPU was reclaimed")
+	}
+}

@@ -28,6 +28,15 @@ const (
 	// and the worst wakeup-latency window coincides with them — the tail is
 	// chaos-made, not a scheduler defect. Never fires on clean runs.
 	CodeFaultCorrelated = "fault-correlated"
+	// CodeLeaseStarvation: a borrower application that participates in the
+	// core-lease protocol went without any lent core beyond the threshold —
+	// the allocator is reclaiming faster than it re-grants, so the tenant
+	// starves. Only fires when the trace carries lease events.
+	CodeLeaseStarvation = "lease-starvation"
+	// CodeLeaseThrash: leases are granted and reclaimed so quickly that the
+	// borrower pays switch costs without getting useful core time — a
+	// grant/reclaim control loop oscillating.
+	CodeLeaseThrash = "lease-thrash"
 )
 
 // Finding is one structured pathology report: what, where, since when, how
@@ -64,6 +73,8 @@ func detect(events []trace.Event, spans *obs.SpanSet, wake *stats.Hist, windows 
 	if f, ok := detectFaultCorrelation(events, windows); ok {
 		out = append(out, f)
 	}
+	out = append(out, detectLeaseStarvation(events, cfg)...)
+	out = append(out, detectLeaseThrash(events, cfg)...)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Code != out[j].Code {
 			return out[i].Code < out[j].Code
@@ -380,4 +391,145 @@ func TickBound(wake *stats.Hist) (Finding, bool) {
 		Evidence: fmt.Sprintf("%d of %d wakeups >= 1ms, clustered at ~%v (implied tick ~%.0f Hz): %d of %d slow wakeups within [%v, %v]",
 			above, total, modeAt, impliedHz, cluster, above, modeAt/2, 2*modeAt),
 	}, true
+}
+
+// leaseHolds reconstructs per-borrower lease activity from the trace's
+// lease events: how many cores each borrower holds over time and each
+// completed hold's duration. Runs without lease events yield an empty map,
+// so clean (non-lease) reports are unchanged by the lease detectors.
+type leaseHolds struct {
+	firstGrant simtime.Time
+	lastEvent  simtime.Time
+	held       int // cores currently held
+	heldSince  simtime.Time
+	idleSince  simtime.Time // start of the current no-core gap
+	gaps       []simtime.Duration
+	holds      []simtime.Duration
+	grantAt    map[int]simtime.Time // core -> open grant time
+}
+
+func buildLeaseHolds(events []trace.Event) map[int]*leaseHolds {
+	byApp := map[int]*leaseHolds{}
+	get := func(app int, at simtime.Time) *leaseHolds {
+		h := byApp[app]
+		if h == nil {
+			h = &leaseHolds{firstGrant: at, idleSince: at, grantAt: map[int]simtime.Time{}}
+			byApp[app] = h
+		}
+		return h
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.LeaseGrant:
+			h := get(ev.App, ev.At)
+			if h.held == 0 {
+				h.gaps = append(h.gaps, simtime.Duration(ev.At-h.idleSince))
+			}
+			h.held++
+			h.grantAt[ev.CPU] = ev.At
+			h.lastEvent = ev.At
+		case trace.LeaseReturn:
+			h := get(ev.App, ev.At)
+			if at, ok := h.grantAt[ev.CPU]; ok {
+				delete(h.grantAt, ev.CPU)
+				h.holds = append(h.holds, simtime.Duration(ev.At-at))
+			}
+			if h.held > 0 {
+				h.held--
+			}
+			if h.held == 0 {
+				h.idleSince = ev.At
+			}
+			h.lastEvent = ev.At
+		case trace.LeaseReclaim, trace.LeaseRevoke:
+			get(ev.App, ev.At).lastEvent = ev.At
+		}
+	}
+	// Close the trailing gap against the last event seen anywhere, so a
+	// borrower reclaimed early and never re-granted shows its starvation.
+	var end simtime.Time
+	for _, ev := range events {
+		if ev.At > end {
+			end = ev.At
+		}
+	}
+	for _, h := range byApp {
+		if h.held == 0 && end > h.idleSince {
+			h.gaps = append(h.gaps, simtime.Duration(end-h.idleSince))
+		}
+	}
+	return byApp
+}
+
+// detectLeaseStarvation flags borrowers that went without any lent core
+// beyond the threshold between (or after) their leases.
+func detectLeaseStarvation(events []trace.Event, cfg Config) []Finding {
+	byApp := buildLeaseHolds(events)
+	var out []Finding
+	for _, app := range det.SortedKeys(byApp) {
+		h := byApp[app]
+		var count uint64
+		var worst simtime.Duration
+		for _, g := range h.gaps {
+			if g < cfg.LeaseStarvationThreshold {
+				continue
+			}
+			count++
+			if g > worst {
+				worst = g
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		out = append(out, Finding{
+			Code:    CodeLeaseStarvation,
+			App:     app,
+			FirstAt: h.firstGrant,
+			Count:   count,
+			Value:   float64(worst),
+			Evidence: fmt.Sprintf("%d core-less gaps >= %v between leases; worst %v",
+				count, cfg.LeaseStarvationThreshold, worst),
+		})
+	}
+	return out
+}
+
+// detectLeaseThrash flags borrowers whose leases keep getting reclaimed
+// almost immediately: at least LeaseThrashCount holds shorter than
+// LeaseThrashHold means the grant/reclaim loop is oscillating and the
+// borrower pays switch costs for no useful core time.
+func detectLeaseThrash(events []trace.Event, cfg Config) []Finding {
+	byApp := buildLeaseHolds(events)
+	var out []Finding
+	for _, app := range det.SortedKeys(byApp) {
+		h := byApp[app]
+		var short uint64
+		var firstAt simtime.Time
+		for i, d := range h.holds {
+			if d >= cfg.LeaseThrashHold {
+				continue
+			}
+			if short == 0 {
+				// The i-th completed hold opened at some grant; firstGrant
+				// is close enough for a report anchor.
+				firstAt = h.firstGrant
+				_ = i
+			}
+			short++
+		}
+		if short < cfg.LeaseThrashCount {
+			continue
+		}
+		out = append(out, Finding{
+			Code:    CodeLeaseThrash,
+			App:     app,
+			FirstAt: firstAt,
+			Count:   short,
+			Value:   float64(short) / float64(len(h.holds)),
+			Evidence: fmt.Sprintf("%d of %d leases held < %v before reclaim",
+				short, len(h.holds), cfg.LeaseThrashHold),
+		})
+	}
+	return out
 }

@@ -55,6 +55,17 @@ type Config struct {
 	// Cores is the worker-core count. 0 = infer from the event stream
 	// (max CPU index seen + 1).
 	Cores int `json:"cores"`
+	// LeaseStarvationThreshold flags a borrower that went without any lent
+	// core for at least this long between (or after) its leases (default
+	// 1 ms). Only meaningful on traces carrying lease events.
+	LeaseStarvationThreshold simtime.Duration `json:"lease_starvation_threshold_ns"`
+	// LeaseThrashHold is the hold duration below which a completed lease
+	// counts as thrash — reclaimed before the borrower got useful core time
+	// (default 30 µs, ≈ the cost of the grant/revoke switch pair).
+	LeaseThrashHold simtime.Duration `json:"lease_thrash_hold_ns"`
+	// LeaseThrashCount is how many sub-LeaseThrashHold holds a borrower
+	// must accumulate before the thrash finding fires (default 8).
+	LeaseThrashCount uint64 `json:"lease_thrash_count"`
 }
 
 const (
@@ -64,6 +75,10 @@ const (
 	defaultIdleWaste    = 50 * simtime.Microsecond
 	defaultImbalance    = 0.4
 	maxWindows          = 1024
+
+	defaultLeaseStarvation  = simtime.Millisecond
+	defaultLeaseThrashHold  = 30 * simtime.Microsecond
+	defaultLeaseThrashCount = 8
 )
 
 func (c Config) withDefaults() Config {
@@ -81,6 +96,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ImbalanceThreshold <= 0 {
 		c.ImbalanceThreshold = defaultImbalance
+	}
+	if c.LeaseStarvationThreshold <= 0 {
+		c.LeaseStarvationThreshold = defaultLeaseStarvation
+	}
+	if c.LeaseThrashHold <= 0 {
+		c.LeaseThrashHold = defaultLeaseThrashHold
+	}
+	if c.LeaseThrashCount == 0 {
+		c.LeaseThrashCount = defaultLeaseThrashCount
 	}
 	return c
 }

@@ -281,3 +281,67 @@ func findCode(fs []Finding, code string) (Finding, bool) {
 	}
 	return Finding{}, false
 }
+
+// leaseScenario builds a lease-event trace for borrower app 7: a long
+// core-less gap between two leases (starvation) and a burst of
+// near-instantly reclaimed leases (thrash). ev.Arg on LeaseReturn carries
+// the reclaim latency; 0 = voluntary (irrelevant to these detectors).
+func leaseScenario() []trace.Event {
+	lev := func(at simtime.Time, k trace.Kind, core int) trace.Event {
+		return trace.Event{At: at, Kind: k, CPU: core, Task: -1, App: 7}
+	}
+	events := []trace.Event{
+		lev(0, trace.LeaseGrant, 2),
+		lev(100_000, trace.LeaseReturn, 2), // 100 µs hold, then...
+		// ...a 2 ms core-less gap (>= the 1 ms default threshold).
+		lev(2_100_000, trace.LeaseGrant, 2),
+	}
+	// Thrash burst: 9 leases each held 5 µs (< the 30 µs default hold).
+	at := simtime.Time(2_200_000)
+	for i := 0; i < 9; i++ {
+		events = append(events,
+			lev(at, trace.LeaseReturn, 2),
+			lev(at+1_000, trace.LeaseGrant, 2),
+			lev(at+6_000, trace.LeaseReturn, 2),
+		)
+		at += 10_000
+	}
+	return events
+}
+
+func TestLeaseDetectors(t *testing.T) {
+	r := Analyze(leaseScenario(), nil, Config{})
+	var starv, thrash *Finding
+	for i := range r.Findings {
+		switch r.Findings[i].Code {
+		case CodeLeaseStarvation:
+			starv = &r.Findings[i]
+		case CodeLeaseThrash:
+			thrash = &r.Findings[i]
+		}
+	}
+	if starv == nil {
+		t.Fatalf("no %s finding: %+v", CodeLeaseStarvation, r.Findings)
+	}
+	if starv.App != 7 || starv.Count != 1 {
+		t.Fatalf("starvation finding: %+v", starv)
+	}
+	if got := simtime.Duration(starv.Value); got != 2*simtime.Millisecond {
+		t.Fatalf("starvation worst gap = %v, want 2ms", got)
+	}
+	if thrash == nil {
+		t.Fatalf("no %s finding: %+v", CodeLeaseThrash, r.Findings)
+	}
+	if thrash.App != 7 || thrash.Count < 8 {
+		t.Fatalf("thrash finding: %+v", thrash)
+	}
+}
+
+func TestLeaseDetectorsSilentWithoutLeases(t *testing.T) {
+	r := Analyze(attribScenario(), nil, Config{})
+	for _, f := range r.Findings {
+		if f.Code == CodeLeaseStarvation || f.Code == CodeLeaseThrash {
+			t.Fatalf("lease finding on a lease-free trace: %+v", f)
+		}
+	}
+}

@@ -42,6 +42,13 @@ type WindowStats struct {
 	// the window — zero outside chaos runs. The fault-correlated detector
 	// uses it to attribute tail windows to fault onset.
 	Injects uint64 `json:"injects,omitempty"`
+
+	// Lease-protocol activity (DESIGN.md §15) in the window — zero outside
+	// oversubscription runs. LeaseRevokes counting grace-deadline
+	// expirations lets skyloft-top watch forced revocation engage live.
+	LeaseGrants  uint64 `json:"lease_grants,omitempty"`
+	LeaseRevokes uint64 `json:"lease_revokes,omitempty"`
+	LeaseReturns uint64 `json:"lease_returns,omitempty"`
 }
 
 // wakeHist builds the overall wakeup-latency histogram from spans with a
@@ -115,6 +122,12 @@ func buildWindows(events []trace.Event, spans *obs.SpanSet, cfg Config) ([]Windo
 			ws.Steals++
 		case trace.Inject:
 			ws.Injects++
+		case trace.LeaseGrant:
+			ws.LeaseGrants++
+		case trace.LeaseRevoke:
+			ws.LeaseRevokes++
+		case trace.LeaseReturn:
+			ws.LeaseReturns++
 		}
 		if depth > ws.RunqHighWater {
 			ws.RunqHighWater = depth

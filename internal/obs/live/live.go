@@ -197,6 +197,7 @@ type Bus struct {
 	depthHW int
 
 	dispatches, wakes, preempts, steals, injects uint64
+	leaseGrants, leaseRevokes, leaseReturns      uint64
 
 	wakeHist *stats.Hist
 	pending  map[int]pendingWake
@@ -297,6 +298,12 @@ func (b *Bus) onEvent(ev trace.Event) {
 		b.steals++
 	case trace.Inject:
 		b.injects++
+	case trace.LeaseGrant:
+		b.leaseGrants++
+	case trace.LeaseRevoke:
+		b.leaseRevokes++
+	case trace.LeaseReturn:
+		b.leaseReturns++
 	}
 	if r := b.cfg.Recorder; r != nil {
 		r.record(ev)
@@ -398,6 +405,7 @@ func (b *Bus) publish(partial bool) {
 	b.winEnd = end + simtime.Time(b.cfg.Window)
 	b.depthHW = b.depth
 	b.dispatches, b.wakes, b.preempts, b.steals, b.injects = 0, 0, 0, 0, 0
+	b.leaseGrants, b.leaseRevokes, b.leaseReturns = 0, 0, 0
 	b.wakeHist = stats.NewHist()
 	b.apps = map[int]*appAcc{}
 	b.starved = map[int]*starvAcc{}
@@ -434,6 +442,9 @@ func (b *Bus) buildSnapshot(end simtime.Time, partial bool) Snapshot {
 		Preempts:      b.preempts,
 		Steals:        b.steals,
 		Injects:       b.injects,
+		LeaseGrants:   b.leaseGrants,
+		LeaseRevokes:  b.leaseRevokes,
+		LeaseReturns:  b.leaseReturns,
 	}
 	if width > 0 {
 		ws.ThroughputRPS = float64(len(closed)) * float64(simtime.Second) / float64(width)

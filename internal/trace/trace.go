@@ -41,6 +41,25 @@ const (
 	// the chaos layer records what it did so traces and the doctor can
 	// correlate tail windows with injected faults.
 	Inject
+	// LeaseGrant: a core is lent to a borrower application (CPU = core,
+	// App = borrower, Arg = lender app). Informational: lease transitions
+	// do not change task ownership themselves — the Dispatch/Preempt
+	// stream still carries that — but they let the doctor and the
+	// invariant auditor correlate reclaim latency with scheduling.
+	LeaseGrant
+	// LeaseReclaim: the lender requested its core back; the cooperative
+	// grace window starts (CPU = core, App = borrower).
+	LeaseReclaim
+	// LeaseRevoke: the grace deadline expired and forced revocation
+	// engaged (CPU = core, App = borrower).
+	LeaseRevoke
+	// LeaseReturn: the core came back to the lender (CPU = core,
+	// App = borrower, Arg = reclaim latency in ns, 0 for a voluntary
+	// return with no reclaim pending).
+	LeaseReturn
+
+	// kindCount sizes per-kind count arrays; keep it after the last kind.
+	kindCount
 )
 
 func (k Kind) String() string {
@@ -67,6 +86,14 @@ func (k Kind) String() string {
 		return "steal"
 	case Inject:
 		return "inject"
+	case LeaseGrant:
+		return "lease-grant"
+	case LeaseReclaim:
+		return "lease-reclaim"
+	case LeaseRevoke:
+		return "lease-revoke"
+	case LeaseReturn:
+		return "lease-return"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -136,7 +163,7 @@ type Ring struct {
 	wrapped bool
 	total   uint64
 	hash    uint64
-	counts  [Inject + 1]uint64
+	counts  [kindCount]uint64
 	tap     func(Event)
 	taps    []func(Event)
 }
@@ -344,7 +371,8 @@ func Validate(events []Event) error {
 			// A re-steal before the task ran simply moves it again; the
 			// latest stealing core owns the next dispatch.
 			stolenTo[ev.Task] = ev.CPU
-		case Wake, AppSwitch, Fault, Inject:
+		case Wake, AppSwitch, Fault, Inject,
+			LeaseGrant, LeaseReclaim, LeaseRevoke, LeaseReturn:
 			// Informational; no ownership change.
 		}
 	}
@@ -355,12 +383,12 @@ func Validate(events []Event) error {
 // (Ring.Counts) or over an event window (Summarise).
 type Stats struct {
 	Dispatches, Preempts, Yields, Blocks, Sleeps, Faults, Exits,
-	Wakes, AppSwitches, Steals, Injects uint64
+	Wakes, AppSwitches, Steals, Injects, LeaseEvents uint64
 }
 
 // fromCounts fills s from a per-kind count array (the ring's lifetime
 // counters), keeping the two Stats sources structurally identical.
-func (s *Stats) fromCounts(counts *[Inject + 1]uint64) {
+func (s *Stats) fromCounts(counts *[kindCount]uint64) {
 	s.Dispatches = counts[Dispatch]
 	s.Preempts = counts[Preempt]
 	s.Yields = counts[Yield]
@@ -372,6 +400,8 @@ func (s *Stats) fromCounts(counts *[Inject + 1]uint64) {
 	s.AppSwitches = counts[AppSwitch]
 	s.Steals = counts[Steal]
 	s.Injects = counts[Inject]
+	s.LeaseEvents = counts[LeaseGrant] + counts[LeaseReclaim] +
+		counts[LeaseRevoke] + counts[LeaseReturn]
 }
 
 // Counts reports lifetime event counts by kind — the authoritative totals,
@@ -386,7 +416,7 @@ func (r *Ring) Counts() Stats {
 // Ring.Counts; this helper exists for windowed slices (e.g. the tail of a
 // dump, or one AppendEvents batch of a long sweep).
 func Summarise(events []Event) Stats {
-	var counts [Inject + 1]uint64
+	var counts [kindCount]uint64
 	for _, ev := range events {
 		if int(ev.Kind) < len(counts) {
 			counts[ev.Kind]++
